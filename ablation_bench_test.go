@@ -1,0 +1,333 @@
+package repro
+
+// Ablation benchmarks for the design decisions DESIGN.md §5 calls out:
+// the lock-step driver's quantum size (does the simulator's scheduling
+// granularity change the shape of E3/E6?), local versus global
+// collection (the §8.1 extension), and decentralised versus centralised
+// I/O dispatch (§6.3). These answer "did we build the right mechanism"
+// rather than "does the claim hold".
+
+import (
+	"testing"
+
+	"repro/internal/gc"
+	"repro/internal/gdp"
+	"repro/internal/iosys"
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/sro"
+	"repro/internal/typedef"
+	"repro/internal/vtime"
+	"repro/internal/workload"
+
+	domainpkg "repro/internal/domain"
+	portpkg "repro/internal/port"
+)
+
+// BenchmarkAblationQuantum runs the E3 workload under different driver
+// quanta. The reported sim-cycles must be stable across quanta: the
+// simulation's results should not depend on the driver's step size, only
+// its interleaving granularity.
+func BenchmarkAblationQuantum(b *testing.B) {
+	for _, quantum := range []vtime.Cycles{500, 2_000, 10_000, 50_000} {
+		q := quantum
+		b.Run(vtime.Cycles(q).String(), func(b *testing.B) {
+			var elapsed vtime.Cycles
+			for i := 0; i < b.N; i++ {
+				sys, err := gdp.New(gdp.Config{Processors: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				dom := benchDomain(b, sys, []isa.Instr{
+					isa.MovI(1, 2_000),
+					isa.AddI(1, 1, ^uint32(0)),
+					isa.BrNZ(1, 1),
+					isa.Halt(),
+				}, nil)
+				for w := 0; w < 12; w++ {
+					if _, f := sys.Spawn(dom, gdp.SpawnSpec{TimeSlice: 2_000}); f != nil {
+						b.Fatal(f)
+					}
+				}
+				for {
+					worked, f := sys.Step(q)
+					if f != nil {
+						b.Fatal(f)
+					}
+					if !worked {
+						break
+					}
+				}
+				elapsed = sys.Now()
+			}
+			b.ReportMetric(float64(elapsed), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkWorkloadGenerators measures the workload-generator substrate
+// itself: wall time to build and run each synthetic shape, with the
+// simulated completion time as the metric of record. These are the
+// shapes every experiment draws on (DESIGN.md deliverable: workload
+// generator + sweep + harness).
+func BenchmarkWorkloadGenerators(b *testing.B) {
+	shapes := []struct {
+		name string
+		run  func(b *testing.B, sys *gdp.System) *workload.Handle
+	}{
+		{"Compute20x2000", func(b *testing.B, sys *gdp.System) *workload.Handle {
+			h, f := workload.Compute(sys, 20, 2_000, 2_000)
+			if f != nil {
+				b.Fatal(f)
+			}
+			return h
+		}},
+		{"Churn4x200", func(b *testing.B, sys *gdp.System) *workload.Handle {
+			h, f := workload.Churn(sys, 4, 200, 128, 2_000)
+			if f != nil {
+				b.Fatal(f)
+			}
+			return h
+		}},
+		{"Pipeline4x100", func(b *testing.B, sys *gdp.System) *workload.Handle {
+			h, f := workload.Pipeline(sys, 4, 100, 8, 2_000)
+			if f != nil {
+				b.Fatal(f)
+			}
+			return h
+		}},
+		{"ForkJoinDepth4", func(b *testing.B, sys *gdp.System) *workload.Handle {
+			h, f := workload.ForkJoin(sys, 4, 500, 2_000)
+			if f != nil {
+				b.Fatal(f)
+			}
+			return h
+		}},
+	}
+	for _, shape := range shapes {
+		b.Run(shape.name, func(b *testing.B) {
+			var elapsed vtime.Cycles
+			for i := 0; i < b.N; i++ {
+				sys, err := gdp.New(gdp.Config{Processors: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				h := shape.run(b, sys)
+				el, f := sys.Run(0)
+				if f != nil {
+					b.Fatal(f)
+				}
+				if !h.Done(sys) {
+					b.Fatal("workload incomplete")
+				}
+				elapsed = el
+			}
+			b.ReportMetric(float64(elapsed), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationBusContention re-runs the E3 scaling workload with the
+// shared-bus arbitration model switched on: the historical 432's known
+// bottleneck. The sim-speedup metric shows the idealised factor-of-10
+// curve bending once every instruction pays for bus arbitration — the
+// gap between the paper's claim and the machine's commercial fate.
+func BenchmarkAblationBusContention(b *testing.B) {
+	for _, contention := range []vtime.Cycles{0, 4, 12} {
+		c := contention
+		b.Run("wait"+c.String(), func(b *testing.B) {
+			var base, elapsed vtime.Cycles
+			for i := 0; i < b.N; i++ {
+				measure := func(cpus int) vtime.Cycles {
+					sys, err := gdp.New(gdp.Config{Processors: cpus, BusContention: c})
+					if err != nil {
+						b.Fatal(err)
+					}
+					dom := benchDomain(b, sys, []isa.Instr{
+						isa.MovI(1, 2_000),
+						isa.AddI(1, 1, ^uint32(0)),
+						isa.BrNZ(1, 1),
+						isa.Halt(),
+					}, nil)
+					for w := 0; w < 20; w++ {
+						if _, f := sys.Spawn(dom, gdp.SpawnSpec{TimeSlice: 2_000}); f != nil {
+							b.Fatal(f)
+						}
+					}
+					el, f := sys.Run(0)
+					if f != nil {
+						b.Fatal(f)
+					}
+					return el
+				}
+				base = measure(1)
+				elapsed = measure(10)
+			}
+			b.ReportMetric(float64(base)/float64(elapsed), "sim-speedup-at-10cpu")
+		})
+	}
+}
+
+// BenchmarkAblationLocalGC compares reclaiming a small local population
+// by local collection versus by a global cycle, inside a large stable
+// system — the payoff of the §8.1 extension.
+func BenchmarkAblationLocalGC(b *testing.B) {
+	build := func(b *testing.B) (*obj.Table, *sro.Manager, *gc.Collector, obj.AD) {
+		tab := obj.NewTable(256 << 20)
+		s := sro.NewManager(tab)
+		ports := portpkg.NewManager(tab, s)
+		tdos := typedef.NewManager(tab)
+		heap, _ := s.NewGlobalHeap(0)
+		_ = tab.Pin(heap)
+		root, _ := s.Create(heap, obj.CreateSpec{Type: obj.TypeGeneric, AccessSlots: 64, Pinned: true})
+		// The large stable population a real system carries.
+		for i := 0; i < 3000; i++ {
+			ad, f := s.Create(heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 32, AccessSlots: 1})
+			if f != nil {
+				b.Fatal(f)
+			}
+			if f := tab.StoreAD(root, uint32(i%64), ad); f != nil {
+				b.Fatal(f)
+			}
+		}
+		return tab, s, gc.New(tab, s, ports, tdos), heap
+	}
+	const localObjs = 50
+	b.Run("LocalCollect", func(b *testing.B) {
+		tab, s, c, heap := build(b)
+		_ = tab
+		var spent vtime.Cycles
+		for i := 0; i < b.N; i++ {
+			local, f := s.NewLocalHeap(heap, 1, 0)
+			if f != nil {
+				b.Fatal(f)
+			}
+			for j := 0; j < localObjs; j++ {
+				if _, f := s.Create(local, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 16}); f != nil {
+					b.Fatal(f)
+				}
+			}
+			w, n, f := c.CollectLocal(local.Index)
+			if f != nil {
+				b.Fatal(f)
+			}
+			if n != localObjs {
+				b.Fatalf("local reclaimed %d", n)
+			}
+			spent = w
+			if _, f := s.DestroyHeap(local); f != nil {
+				b.Fatal(f)
+			}
+		}
+		b.ReportMetric(float64(spent), "sim-cycles/collection")
+	})
+	b.Run("GlobalCollect", func(b *testing.B) {
+		_, s, c, heap := build(b)
+		var spent vtime.Cycles
+		for i := 0; i < b.N; i++ {
+			local, f := s.NewLocalHeap(heap, 1, 0)
+			if f != nil {
+				b.Fatal(f)
+			}
+			for j := 0; j < localObjs; j++ {
+				if _, f := s.Create(local, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 16}); f != nil {
+					b.Fatal(f)
+				}
+			}
+			// Drop the heap reference so the global cycle reclaims
+			// the population (and the SRO).
+			w, f := c.Collect()
+			if f != nil {
+				b.Fatal(f)
+			}
+			spent = w
+		}
+		b.ReportMetric(float64(spent), "sim-cycles/collection")
+	})
+}
+
+// BenchmarkAblationIODispatch compares the paper's decentralised
+// I/O (each device a domain instance, §6.3) with the conventional
+// centralised alternative (one dispatcher switching on a device id).
+// The decentralised design is the one that needs no system change per
+// device; this ablation shows it also costs nothing extra per call.
+func BenchmarkAblationIODispatch(b *testing.B) {
+	callWrite := func(b *testing.B, sys *gdp.System, dev obj.AD, buf obj.AD, n int) {
+		b.Helper()
+		dom := benchDomain(b, sys, []isa.Instr{
+			isa.MovI(4, uint32(n)),
+			isa.MovI(1, 0),
+			isa.MovI(2, 8),
+			isa.MovA(1, 2),
+			isa.Call(3, iosys.EntryWrite),
+			isa.AddI(4, 4, ^uint32(0)),
+			isa.BrNZ(4, 1),
+			isa.Halt(),
+		}, nil)
+		p, f := sys.Spawn(dom, gdp.SpawnSpec{AArgs: [4]obj.AD{obj.NilAD, obj.NilAD, buf, dev}})
+		if f != nil {
+			b.Fatal(f)
+		}
+		runToEnd(b, sys, p)
+	}
+	b.Run("Decentralised", func(b *testing.B) {
+		sys := newSys(b, 1)
+		console := iosys.NewConsole()
+		dev, f := iosys.InstallConsole(sys.Domains, sys.Heap, console)
+		if f != nil {
+			b.Fatal(f)
+		}
+		buf, _ := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+		b.ResetTimer()
+		callWrite(b, sys, dev, buf, b.N)
+	})
+	b.Run("CentralDispatcher", func(b *testing.B) {
+		sys := newSys(b, 1)
+		// The conventional design: one domain, a device table, a
+		// switch on r0 — the thing §6.3 argues against. Registering a
+		// new device means editing this handler.
+		consoles := []*iosys.Console{iosys.NewConsole(), iosys.NewConsole()}
+		dev, f := sys.Domains.CreateNative(sys.Heap, 1,
+			func(env *domainpkg.Env, entry uint32) *obj.Fault {
+				id, f := env.Procs.Reg(env.Ctx, 0)
+				if f != nil {
+					return f
+				}
+				if int(id) >= len(consoles) {
+					return obj.Faultf(obj.FaultBounds, obj.NilAD, "no device %d", id)
+				}
+				buf, f := env.Procs.AReg(env.Ctx, 1)
+				if f != nil {
+					return f
+				}
+				p, f := env.Table.ReadBytes(buf, 0, 8)
+				if f != nil {
+					return f
+				}
+				if _, err := consoles[id].Write(p); err != nil {
+					return obj.Faultf(obj.FaultOddity, buf, "%v", err)
+				}
+				env.Clock.Charge(50 + 2*8)
+				return nil
+			})
+		if f != nil {
+			b.Fatal(f)
+		}
+		buf, _ := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+		dom := benchDomain(b, sys, []isa.Instr{
+			isa.MovI(4, uint32(b.N)),
+			isa.MovI(0, 0), // device id for the central switch
+			isa.MovA(1, 2),
+			isa.Call(3, 0),
+			isa.AddI(4, 4, ^uint32(0)),
+			isa.BrNZ(4, 1),
+			isa.Halt(),
+		}, nil)
+		b.ResetTimer()
+		p, f := sys.Spawn(dom, gdp.SpawnSpec{AArgs: [4]obj.AD{obj.NilAD, obj.NilAD, buf, dev}})
+		if f != nil {
+			b.Fatal(f)
+		}
+		runToEnd(b, sys, p)
+	})
+}

@@ -1,0 +1,84 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gdp"
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/pm"
+)
+
+// schedulerFairness runs the E8 contention workload (four spinners, one
+// asking for hog parameters) under the null or fair policy and returns
+// Jain's fairness index over consumed cycles.
+func schedulerFairness(b *testing.B, fair bool) float64 {
+	b.Helper()
+	im, err := core.Boot(core.Config{Processors: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	basic := pm.NewBasic(im.System)
+	sched := pm.NewFairScheduler(basic, 2_000)
+	code, f := im.Domains.CreateCode(im.Heap, []isa.Instr{
+		isa.MovI(1, 100_000_000),
+		isa.AddI(1, 1, ^uint32(0)),
+		isa.BrNZ(1, 1),
+		isa.Halt(),
+	})
+	if f != nil {
+		b.Fatal(f)
+	}
+	dom, f := im.Domains.Create(im.Heap, code, []uint32{0})
+	if f != nil {
+		b.Fatal(f)
+	}
+	if f := im.Publish(0, dom); f != nil {
+		b.Fatal(f)
+	}
+	var procs []obj.AD
+	for i := 0; i < 4; i++ {
+		prio, slice := uint16(1), uint32(2_000)
+		if i == 0 {
+			prio, slice = 9, 0
+		}
+		p, f := basic.CreateProcess(dom, obj.NilAD, gdp.SpawnSpec{Priority: prio, TimeSlice: slice})
+		if f != nil {
+			b.Fatal(f)
+		}
+		procs = append(procs, p)
+		if f := im.Publish(uint32(1+i), p); f != nil {
+			b.Fatal(f)
+		}
+		if fair {
+			if f := sched.Adopt(p); f != nil {
+				b.Fatal(f)
+			}
+		}
+	}
+	if fair {
+		if _, f := basic.CreateNativeProcess(sched.Body(8_000), obj.NilAD,
+			gdp.SpawnSpec{Priority: 15}); f != nil {
+			b.Fatal(f)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		if _, f := im.Step(2_000); f != nil {
+			b.Fatal(f)
+		}
+	}
+	var sum, sumSq float64
+	for _, p := range procs {
+		c, f := im.Procs.CPUCycles(p)
+		if f != nil {
+			b.Fatal(f)
+		}
+		sum += float64(c)
+		sumSq += float64(c) * float64(c)
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(procs)) * sumSq)
+}

@@ -1,0 +1,572 @@
+// Package repro's root benchmark suite: one benchmark per experiment in
+// DESIGN.md §4 (the paper publishes no numbered tables, so each
+// quantitative claim is a bench target). Wall-clock ns/op measures the
+// simulator; the custom metrics (sim-µs/op, fairness, stall cycles) are
+// the architecture-visible quantities the paper's claims are about —
+// those are what EXPERIMENTS.md records.
+//
+// Run: go test -bench=. -benchmem
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/gdp"
+	"repro/internal/ipc"
+	"repro/internal/isa"
+	"repro/internal/mm"
+	"repro/internal/obj"
+	"repro/internal/port"
+	"repro/internal/process"
+	"repro/internal/sro"
+	"repro/internal/typedef"
+	"repro/internal/vtime"
+)
+
+// newSys builds a bare machine for microbenchmarks.
+func newSys(b *testing.B, cpus int) *gdp.System {
+	b.Helper()
+	sys, err := gdp.New(gdp.Config{Processors: cpus, MemoryBytes: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func benchDomain(b *testing.B, sys *gdp.System, prog []isa.Instr, entries []uint32) obj.AD {
+	b.Helper()
+	code, f := sys.Domains.CreateCode(sys.Heap, prog)
+	if f != nil {
+		b.Fatal(f)
+	}
+	if entries == nil {
+		entries = []uint32{0}
+	}
+	dom, f := sys.Domains.Create(sys.Heap, code, entries)
+	if f != nil {
+		b.Fatal(f)
+	}
+	return dom
+}
+
+func runToEnd(b *testing.B, sys *gdp.System, procs ...obj.AD) vtime.Cycles {
+	b.Helper()
+	elapsed, f := sys.Run(0)
+	if f != nil {
+		b.Fatal(f)
+	}
+	for _, p := range procs {
+		if st, _ := sys.Procs.StateOf(p); st != process.StateTerminated {
+			c, _ := sys.Procs.FaultCode(p)
+			b.Fatalf("workload faulted: %v", c)
+		}
+	}
+	return elapsed
+}
+
+// BenchmarkE1DomainSwitch measures the §2 claim: ~65 µs per domain
+// switch versus an intra-domain activation.
+func BenchmarkE1DomainSwitch(b *testing.B) {
+	run := func(b *testing.B, cross bool) {
+		calls := uint32(b.N)
+		sys := newSys(b, 1)
+		callee := benchDomain(b, sys, []isa.Instr{isa.Ret()}, nil)
+		callInstr := isa.Call(1, 0)
+		if !cross {
+			callInstr = isa.CallLocal(1)
+		}
+		caller := benchDomain(b, sys, []isa.Instr{
+			isa.MovI(4, calls),
+			callInstr,
+			isa.AddI(4, 4, ^uint32(0)),
+			isa.BrNZ(4, 1),
+			isa.Halt(),
+			isa.Ret(), // entry 1 for the intra-domain case
+		}, []uint32{0, 5})
+		p, f := sys.Spawn(caller, gdp.SpawnSpec{AArgs: [4]obj.AD{obj.NilAD, callee}})
+		if f != nil {
+			b.Fatal(f)
+		}
+		b.ResetTimer()
+		runToEnd(b, sys, p)
+		busy := sys.CPUs[0].Clock.Now() - sys.CPUs[0].IdleCycles
+		b.ReportMetric(busy.Microseconds()/float64(b.N), "sim-µs/call")
+	}
+	b.Run("CrossDomain", func(b *testing.B) { run(b, true) })
+	b.Run("IntraDomain", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkE2Allocate measures the §5 claim: 80 µs per create-object.
+func BenchmarkE2Allocate(b *testing.B) {
+	for _, size := range []uint32{16, 4096, 65536} {
+		b.Run(byteLabel(size), func(b *testing.B) {
+			tab := obj.NewTable(1 << 30)
+			s := sro.NewManager(tab)
+			heap, _ := s.NewGlobalHeap(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ad, f := s.Create(heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: size})
+				if f != nil {
+					b.Fatal(f)
+				}
+				if f := s.Reclaim(ad.Index); f != nil {
+					b.Fatal(f)
+				}
+			}
+			b.ReportMetric(vtime.CostCreateObject.Microseconds(), "sim-µs/create")
+		})
+	}
+}
+
+func byteLabel(n uint32) string {
+	switch {
+	case n >= 1024:
+		return string(rune('0'+n/1024/10%10)) + string(rune('0'+n/1024%10)) + "KB"
+	default:
+		return string(rune('0'+n/10%10)) + string(rune('0'+n%10)) + "B"
+	}
+}
+
+// BenchmarkE3Multiprocessor measures the §3 scaling claim across
+// processor counts; sim-speedup is the metric that must climb.
+func BenchmarkE3Multiprocessor(b *testing.B) {
+	var base vtime.Cycles
+	for _, cpus := range []int{1, 2, 4, 8, 10} {
+		b.Run(cpuLabel(cpus), func(b *testing.B) {
+			var elapsed vtime.Cycles
+			for i := 0; i < b.N; i++ {
+				sys := newSys(b, cpus)
+				dom := benchDomain(b, sys, []isa.Instr{
+					isa.MovI(1, 2_000),
+					isa.AddI(1, 1, ^uint32(0)),
+					isa.BrNZ(1, 1),
+					isa.Halt(),
+				}, nil)
+				var procs []obj.AD
+				for w := 0; w < 20; w++ {
+					p, f := sys.Spawn(dom, gdp.SpawnSpec{TimeSlice: 2_000})
+					if f != nil {
+						b.Fatal(f)
+					}
+					procs = append(procs, p)
+				}
+				elapsed = runToEnd(b, sys, procs...)
+			}
+			if cpus == 1 {
+				base = elapsed
+			}
+			if base > 0 {
+				b.ReportMetric(float64(base)/float64(elapsed), "sim-speedup")
+			}
+		})
+	}
+}
+
+func cpuLabel(n int) string {
+	if n >= 10 {
+		return string(rune('0'+n/10)) + string(rune('0'+n%10)) + "cpu"
+	}
+	return string(rune('0'+n)) + "cpu"
+}
+
+// BenchmarkE4TypedPorts measures the Figure 1/2 claim: the typed wrapper
+// costs the same as the untyped interface; the runtime check costs a few
+// instructions more.
+func BenchmarkE4TypedPorts(b *testing.B) {
+	type benchMsg struct{}
+	setup := func(b *testing.B) (*obj.Table, *sro.Manager, *port.Manager, obj.AD) {
+		tab := obj.NewTable(1 << 22)
+		s := sro.NewManager(tab)
+		heap, _ := s.NewGlobalHeap(0)
+		return tab, s, port.NewManager(tab, s), heap
+	}
+	b.Run("Untyped", func(b *testing.B) {
+		_, s, pmgr, heap := setup(b)
+		u, _ := ipc.CreateUntyped(pmgr, heap, 8, port.FIFO)
+		msg, _ := s.Create(heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := u.Send(msg); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := u.Receive(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Typed", func(b *testing.B) {
+		_, s, pmgr, heap := setup(b)
+		tp, _ := ipc.CreateTyped[benchMsg](pmgr, heap, 8, port.FIFO)
+		raw, _ := s.Create(heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+		msg := ipc.Wrap[benchMsg](raw)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tp.Send(msg); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tp.Receive(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Checked", func(b *testing.B) {
+		tab, _, pmgr, heap := setup(b)
+		td := typedef.NewManager(tab)
+		tdo, _ := td.Define("m", obj.LevelGlobal, obj.NilIndex)
+		cp, f := ipc.CreateChecked(pmgr, td, heap, tdo, 8, port.FIFO)
+		if f != nil {
+			b.Fatal(f)
+		}
+		msg, _ := td.CreateInstance(tdo, obj.CreateSpec{DataLen: 8})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cp.Send(msg); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cp.Receive(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE5LocalHeap measures the §5 claim: bulk SRO destruction beats
+// tracing collection for short-lived objects.
+func BenchmarkE5LocalHeap(b *testing.B) {
+	const n = 1000
+	b.Run("BulkDestroy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tab := obj.NewTable(64 << 20)
+			s := sro.NewManager(tab)
+			global, _ := s.NewGlobalHeap(0)
+			local, _ := s.NewLocalHeap(global, 1, 0)
+			for j := 0; j < n; j++ {
+				if _, f := s.Create(local, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 64}); f != nil {
+					b.Fatal(f)
+				}
+			}
+			if _, f := s.DestroyHeap(local); f != nil {
+				b.Fatal(f)
+			}
+		}
+		b.ReportMetric((vtime.CostGCSweepStep).Microseconds(), "sim-µs/obj")
+	})
+	b.Run("GlobalGC", func(b *testing.B) {
+		var spent vtime.Cycles
+		for i := 0; i < b.N; i++ {
+			tab := obj.NewTable(64 << 20)
+			s := sro.NewManager(tab)
+			ports := port.NewManager(tab, s)
+			tdos := typedef.NewManager(tab)
+			global, _ := s.NewGlobalHeap(0)
+			_ = tab.Pin(global)
+			for j := 0; j < n; j++ {
+				if _, f := s.Create(global, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 64}); f != nil {
+					b.Fatal(f)
+				}
+			}
+			c := gc.New(tab, s, ports, tdos)
+			var f *obj.Fault
+			spent, f = c.Collect()
+			if f != nil {
+				b.Fatal(f)
+			}
+		}
+		b.ReportMetric(spent.Microseconds()/n, "sim-µs/obj")
+	})
+}
+
+// BenchmarkE6OnTheFlyGC measures the §8.1 claim through the daemon
+// configuration: allocation churn with the collector interleaved.
+func BenchmarkE6OnTheFlyGC(b *testing.B) {
+	run := func(b *testing.B, daemon bool) {
+		for i := 0; i < b.N; i++ {
+			cfg := core.Config{Processors: 2, MemoryBytes: 64 << 20}
+			if daemon {
+				cfg.GC = true
+				cfg.GCWork = 32
+				cfg.GCInterval = 20_000
+			}
+			im, err := core.Boot(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog := []isa.Instr{
+				isa.MovI(4, 500),
+				isa.MovI(2, 128),
+				isa.MovI(3, 1),
+				isa.Create(1, 0, 2),
+				isa.AddI(4, 4, ^uint32(0)),
+				isa.BrNZ(4, 3),
+				isa.Halt(),
+			}
+			code, cf := im.Domains.CreateCode(im.Heap, prog)
+			if cf != nil {
+				b.Fatal(cf)
+			}
+			d, cf := im.Domains.Create(im.Heap, code, []uint32{0})
+			if cf != nil {
+				b.Fatal(cf)
+			}
+			if f := im.Publish(0, d); f != nil {
+				b.Fatal(f)
+			}
+			p, cf := im.Spawn(d, gdp.SpawnSpec{TimeSlice: 2_000, AArgs: [4]obj.AD{im.Heap}})
+			if cf != nil {
+				b.Fatal(cf)
+			}
+			if f := im.Publish(1, p); f != nil {
+				b.Fatal(f)
+			}
+			done := func() bool {
+				st, _ := im.Procs.StateOf(p)
+				return st == process.StateTerminated
+			}
+			if _, f := im.RunUntil(done, 1_000_000_000); f != nil {
+				b.Fatal(f)
+			}
+			if !daemon {
+				if _, f := im.Collect(); f != nil {
+					b.Fatal(f)
+				}
+			}
+		}
+	}
+	b.Run("OnTheFlyDaemon", func(b *testing.B) { run(b, true) })
+	b.Run("StopTheWorld", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkE7DestructionFilter measures the §8.2 recovery path: cost per
+// lost object delivered to its type manager.
+func BenchmarkE7DestructionFilter(b *testing.B) {
+	im, err := core.Boot(core.Config{MemoryBytes: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tdo, _ := im.TDOs.Define("drive", obj.LevelGlobal, obj.NilIndex)
+	_ = im.Publish(0, tdo)
+	recovery, _ := im.Ports.Create(im.Heap, 4096, port.FIFO)
+	_ = im.Publish(1, recovery)
+	if f := im.TDOs.ArmDestructionFilter(tdo, recovery); f != nil {
+		b.Fatal(f)
+	}
+	b.ResetTimer()
+	recovered := 0
+	for i := 0; i < b.N; i++ {
+		if _, f := im.TDOs.CreateInstance(tdo, obj.CreateSpec{DataLen: 16}); f != nil {
+			b.Fatal(f)
+		}
+		if i%1000 == 999 || i == b.N-1 {
+			if _, f := im.Collect(); f != nil {
+				b.Fatal(f)
+			}
+			for {
+				_, ok, f := im.ReceiveMessage(recovery)
+				if f != nil {
+					b.Fatal(f)
+				}
+				if !ok {
+					break
+				}
+				recovered++
+			}
+		}
+	}
+	if recovered != b.N {
+		b.Fatalf("recovered %d of %d", recovered, b.N)
+	}
+}
+
+// BenchmarkE8Schedulers measures the §6.1 policies; sim-fairness is
+// Jain's index over consumed cycles.
+func BenchmarkE8Schedulers(b *testing.B) {
+	run := func(b *testing.B, fair bool) {
+		var idx float64
+		for i := 0; i < b.N; i++ {
+			idx = schedulerFairness(b, fair)
+		}
+		b.ReportMetric(idx, "sim-fairness")
+	}
+	b.Run("NullPolicy", func(b *testing.B) { run(b, false) })
+	b.Run("FairScheduler", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkE9Swapping measures the §6.2 managers under 2× overcommit.
+func BenchmarkE9Swapping(b *testing.B) {
+	const (
+		phys    = 512 * 1024
+		objSize = 8 * 1024
+		objects = 2 * phys / objSize
+	)
+	b.Run("Swapping", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tab := obj.NewTable(phys)
+			s := sro.NewManager(tab)
+			alloc := mm.NewSwapping(tab, s)
+			heap, _ := alloc.NewHeap(0)
+			for j := 0; j < objects; j++ {
+				if _, f := alloc.Allocate(heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: objSize}); f != nil {
+					b.Fatal(f)
+				}
+			}
+		}
+	})
+	b.Run("NonSwappingWithinMemory", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tab := obj.NewTable(phys)
+			s := sro.NewManager(tab)
+			alloc := mm.NewNonSwapping(s)
+			heap, _ := alloc.NewHeap(0)
+			for j := 0; j < objects/4; j++ {
+				if _, f := alloc.Allocate(heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: objSize}); f != nil {
+					b.Fatal(f)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkE10Audit measures the damage-audit scan used by the §7.1
+// confinement experiment: per-object validation cost.
+func BenchmarkE10Audit(b *testing.B) {
+	tab := obj.NewTable(64 << 20)
+	s := sro.NewManager(tab)
+	heap, _ := s.NewGlobalHeap(0)
+	var ads []obj.AD
+	for i := 0; i < 1000; i++ {
+		ad, f := s.Create(heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 64, AccessSlots: 2})
+		if f != nil {
+			b.Fatal(f)
+		}
+		ads = append(ads, ad)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ad := range ads {
+			if _, f := tab.Resolve(ad); f != nil {
+				b.Fatal(f)
+			}
+		}
+	}
+}
+
+// BenchmarkE11Disciplines measures send+receive under each queueing
+// discipline at a part-filled port (the scan cost is the difference).
+func BenchmarkE11Disciplines(b *testing.B) {
+	for _, d := range []port.Discipline{port.FIFO, port.Priority, port.Deadline} {
+		b.Run(d.String(), func(b *testing.B) {
+			tab := obj.NewTable(1 << 22)
+			s := sro.NewManager(tab)
+			heap, _ := s.NewGlobalHeap(0)
+			pmgr := port.NewManager(tab, s)
+			prt, _ := pmgr.Create(heap, 64, d)
+			msg, _ := s.Create(heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+			// Half-fill so every op scans a realistic queue.
+			for i := 0; i < 32; i++ {
+				if _, _, f := pmgr.Send(prt, msg, uint32(i), obj.NilAD); f != nil {
+					b.Fatal(f)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, f := pmgr.Send(prt, msg, uint32(i), obj.NilAD); f != nil {
+					b.Fatal(f)
+				}
+				if _, _, _, f := pmgr.Receive(prt, obj.NilAD); f != nil {
+					b.Fatal(f)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE12SendReceive measures the §4 port instructions end to end
+// through the executing machine.
+func BenchmarkE12SendReceive(b *testing.B) {
+	sys := newSys(b, 1)
+	prt, _ := sys.Ports.Create(sys.Heap, 4, port.FIFO)
+	msg, _ := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+	dom := benchDomain(b, sys, []isa.Instr{
+		isa.MovI(4, uint32(b.N)),
+		isa.MovI(5, 0),
+		isa.Send(1, 2, 5),
+		isa.Recv(1, 2),
+		isa.AddI(4, 4, ^uint32(0)),
+		isa.BrNZ(4, 2),
+		isa.Halt(),
+	}, nil)
+	p, f := sys.Spawn(dom, gdp.SpawnSpec{AArgs: [4]obj.AD{obj.NilAD, msg, prt}})
+	if f != nil {
+		b.Fatal(f)
+	}
+	b.ResetTimer()
+	runToEnd(b, sys, p)
+	b.ReportMetric((vtime.CostSend + vtime.CostReceive).Microseconds(), "sim-µs/exchange")
+}
+
+// BenchmarkE13LevelAudit measures the §7.3 audit over a population of
+// registered system processes.
+func BenchmarkE13LevelAudit(b *testing.B) {
+	im, err := core.Boot(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	code, _ := im.Domains.CreateCode(im.Heap, []isa.Instr{isa.Halt()})
+	dom, _ := im.Domains.Create(im.Heap, code, []uint32{0})
+	_ = im.Publish(0, dom)
+	for i := 0; i < 200; i++ {
+		p, f := im.Spawn(dom, gdp.SpawnSpec{})
+		if f != nil {
+			b.Fatal(f)
+		}
+		_ = im.Publish(uint32(1+i%60), p)
+		if f := im.RegisterSystemProcess(p, core.Level2); f != nil {
+			b.Fatal(f)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := im.CheckLevels(); len(v) != 0 {
+			b.Fatal("unexpected violations")
+		}
+	}
+}
+
+// BenchmarkE14Filing measures §7.2 passivate/activate throughput for a
+// small typed graph.
+func BenchmarkE14Filing(b *testing.B) {
+	im, err := core.Boot(core.Config{Filing: true, MemoryBytes: 256 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tdo, _ := im.TDOs.Define("account", obj.LevelGlobal, obj.NilIndex)
+	_ = im.Publish(0, tdo)
+	if f := im.Files.BindType("account", tdo); f != nil {
+		b.Fatal(f)
+	}
+	root, _ := im.TDOs.CreateInstance(tdo, obj.CreateSpec{DataLen: 64, AccessSlots: 2})
+	leaf, _ := im.MM.Allocate(im.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 64})
+	_ = im.Table.StoreAD(root, 0, leaf)
+	_ = im.Publish(1, root)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tok, err := im.Files.Passivate(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		back, err := im.Files.Activate(tok, im.Heap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f := im.Files.Delete(tok); f != nil {
+			b.Fatal(f)
+		}
+		// Drop the activated copy for the next pass; reclaim directly
+		// to keep the table from growing across iterations.
+		a0, _ := im.Table.LoadAD(back, 0)
+		_ = im.SROs.Reclaim(a0.Index)
+		_ = im.SROs.Reclaim(back.Index)
+	}
+}

@@ -1,0 +1,311 @@
+// Command imax boots a configured iMAX-432 system and runs one of the
+// built-in demonstration workloads, printing the system's own account of
+// what happened. It is the smallest end-to-end drive of the stack:
+// configuration (§6), dispatching and ports (§4–5), collection (§8).
+//
+// Usage:
+//
+//	imax [-cpus N] [-mem BYTES] [-swapping] [-gc] [-demo NAME]
+//
+// Demos: ports (default), compute, gc, io.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gdp"
+	"repro/internal/inspect"
+	"repro/internal/iosys"
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/port"
+	"repro/internal/process"
+)
+
+func main() {
+	cpus := flag.Int("cpus", 2, "simulated processors")
+	mem := flag.Uint("mem", 16<<20, "physical memory bytes")
+	swapping := flag.Bool("swapping", false, "select the swapping memory manager")
+	gcOn := flag.Bool("gc", true, "run the on-the-fly collector daemon")
+	demo := flag.String("demo", "ports", "workload: ports | compute | gc | io")
+	inspectFlag := flag.Bool("inspect", false, "dump the object population after the workload")
+	trace := flag.Int("trace", 0, "print the first N executed instructions")
+	flag.Parse()
+
+	im, err := core.Boot(core.Config{
+		Processors:  *cpus,
+		MemoryBytes: uint32(*mem),
+		Swapping:    *swapping,
+		GC:          *gcOn,
+		Filing:      true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("iMAX-432: %d processors, %d KB memory, %s memory manager, gc=%v\n\n",
+		*cpus, *mem/1024, im.MM.Name(), *gcOn)
+
+	if *trace > 0 {
+		remaining := *trace
+		im.Trace = func(cpu int, proc obj.AD, ev gdp.TraceEvent) {
+			if remaining <= 0 {
+				return
+			}
+			remaining--
+			status := ""
+			if ev.Fault != nil {
+				status = "  !! " + ev.Fault.Code.String()
+			}
+			fmt.Printf("  cpu%d %v ip=%-4d %-20v %v%s\n",
+				cpu, proc, ev.IP, ev.Instr, ev.Cost, status)
+		}
+	}
+
+	switch *demo {
+	case "ports":
+		demoPorts(im)
+	case "compute":
+		demoCompute(im)
+	case "gc":
+		demoGC(im)
+	case "io":
+		demoIO(im)
+	default:
+		fmt.Fprintf(os.Stderr, "imax: unknown demo %q\n", *demo)
+		os.Exit(2)
+	}
+
+	st := im.Stats()
+	fmt.Printf("\nsystem: %v elapsed, %d dispatches, %d preemptions, %d instructions, %d objects live\n",
+		im.Now(), st.Dispatches, st.Preemptions, st.Instructions, im.Table.Live())
+	if im.Collector != nil {
+		g := im.Collector.Stats()
+		fmt.Printf("collector: %d cycles, %d marked, %d reclaimed, %d filtered\n",
+			g.Cycles, g.Marked, g.Reclaimed, g.Filtered)
+	}
+	if *inspectFlag {
+		fmt.Println()
+		inspect.Take(im.Table).Write(os.Stdout)
+	}
+}
+
+func mustDomain(im *core.IMAX, prog []isa.Instr) obj.AD {
+	code, f := im.Domains.CreateCode(im.Heap, prog)
+	if f != nil {
+		log.Fatal(f)
+	}
+	dom, f := im.Domains.Create(im.Heap, code, []uint32{0})
+	if f != nil {
+		log.Fatal(f)
+	}
+	return dom
+}
+
+func waitAll(im *core.IMAX, procs []obj.AD) {
+	done := func() bool {
+		for _, p := range procs {
+			st, _ := im.Procs.StateOf(p)
+			if st != process.StateTerminated {
+				return false
+			}
+		}
+		return true
+	}
+	if _, f := im.RunUntil(done, 2_000_000_000); f != nil {
+		log.Fatalf("workload stuck: %v", f)
+	}
+}
+
+// demoPorts: a ring of relay processes passing a token around.
+func demoPorts(im *core.IMAX) {
+	const hops = 6
+	var ports []obj.AD
+	for i := 0; i < hops; i++ {
+		p, f := im.Ports.Create(im.Heap, 2, port.FIFO)
+		if f != nil {
+			log.Fatal(f)
+		}
+		ports = append(ports, p)
+		if f := im.Publish(uint32(i), p); f != nil {
+			log.Fatal(f)
+		}
+	}
+	relay := mustDomain(im, []isa.Instr{
+		isa.MovI(4, 10), // laps
+		isa.Recv(1, 2),
+		isa.Load(0, 1, 0),
+		isa.AddI(0, 0, 1),
+		isa.Store(0, 1, 0),
+		isa.MovI(5, 0),
+		isa.Send(1, 3, 5),
+		isa.AddI(4, 4, ^uint32(0)),
+		isa.BrNZ(4, 1),
+		isa.Halt(),
+	})
+	if f := im.Publish(20, relay); f != nil {
+		log.Fatal(f)
+	}
+	var procs []obj.AD
+	for i := 0; i < hops; i++ {
+		p, f := im.Spawn(relay, gdp.SpawnSpec{
+			TimeSlice: 2_000,
+			AArgs:     [4]obj.AD{obj.NilAD, obj.NilAD, ports[i], ports[(i+1)%hops]},
+		})
+		if f != nil {
+			log.Fatal(f)
+		}
+		procs = append(procs, p)
+		if f := im.Publish(uint32(30+i), p); f != nil {
+			log.Fatal(f)
+		}
+	}
+	token, f := im.MM.Allocate(im.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+	if f != nil {
+		log.Fatal(f)
+	}
+	if ok, f := im.SendMessage(ports[0], token, 0); f != nil || !ok {
+		log.Fatal(f)
+	}
+	waitAll(im, procs)
+	v, _ := im.Table.ReadDWord(token, 0)
+	fmt.Printf("ports demo: token crossed %d process boundaries; counter = %d (want %d)\n",
+		hops*10, v, hops*10)
+}
+
+// demoCompute: independent workers saturating every processor.
+func demoCompute(im *core.IMAX) {
+	workers := len(im.CPUs) * 4
+	dom := mustDomain(im, []isa.Instr{
+		isa.MovI(1, 20_000),
+		isa.AddI(1, 1, ^uint32(0)),
+		isa.BrNZ(1, 1),
+		isa.Halt(),
+	})
+	if f := im.Publish(0, dom); f != nil {
+		log.Fatal(f)
+	}
+	var procs []obj.AD
+	for i := 0; i < workers; i++ {
+		p, f := im.Spawn(dom, gdp.SpawnSpec{TimeSlice: 3_000})
+		if f != nil {
+			log.Fatal(f)
+		}
+		procs = append(procs, p)
+		if f := im.Publish(uint32(1+i), p); f != nil {
+			log.Fatal(f)
+		}
+	}
+	waitAll(im, procs)
+	fmt.Printf("compute demo: %d workers over %d processors\n", workers, len(im.CPUs))
+	for _, cpu := range im.CPUs {
+		busy := cpu.Clock.Now() - cpu.IdleCycles
+		fmt.Printf("  cpu %d: %d dispatches, %v busy, %v idle\n",
+			cpu.ID, cpu.Dispatches, busy, cpu.IdleCycles)
+	}
+}
+
+// demoGC: allocation churn with the daemon keeping up.
+func demoGC(im *core.IMAX) {
+	dom := mustDomain(im, []isa.Instr{
+		isa.MovI(4, 2_000),
+		isa.MovI(2, 256),
+		isa.MovI(3, 2),
+		isa.Create(1, 0, 2),
+		isa.AddI(4, 4, ^uint32(0)),
+		isa.BrNZ(4, 3),
+		isa.Halt(),
+	})
+	if f := im.Publish(0, dom); f != nil {
+		log.Fatal(f)
+	}
+	p, f := im.Spawn(dom, gdp.SpawnSpec{TimeSlice: 2_000, AArgs: [4]obj.AD{im.Heap}})
+	if f != nil {
+		log.Fatal(f)
+	}
+	if f := im.Publish(1, p); f != nil {
+		log.Fatal(f)
+	}
+	before := im.Table.Live()
+	waitAll(im, []obj.AD{p})
+	if im.Collector == nil {
+		if _, f := im.Collect(); f != nil {
+			log.Fatal(f)
+		}
+	} else {
+		// Let the daemon finish a couple more cycles.
+		target := im.Collector.Stats().Cycles + 2
+		if _, f := im.RunUntil(func() bool {
+			return im.Collector.Stats().Cycles >= target
+		}, 500_000_000); f != nil {
+			log.Fatal(f)
+		}
+	}
+	fmt.Printf("gc demo: 2000 objects allocated and dropped; live %d -> %d\n",
+		before, im.Table.Live())
+}
+
+// demoIO: the same program writing through three different devices.
+func demoIO(im *core.IMAX) {
+	console := iosys.NewConsole()
+	tape := iosys.NewTape(1 << 16)
+	disk := iosys.NewDisk(32, 512)
+	devs := make([]obj.AD, 3)
+	var f *obj.Fault
+	if devs[0], f = iosys.InstallConsole(im.Domains, im.Heap, console); f != nil {
+		log.Fatal(f)
+	}
+	if devs[1], f = iosys.InstallTape(im.Domains, im.Heap, tape); f != nil {
+		log.Fatal(f)
+	}
+	if devs[2], f = iosys.InstallDisk(im.Domains, im.Heap, disk); f != nil {
+		log.Fatal(f)
+	}
+	text := "uniform I/O via domains\n"
+	buf, f := im.MM.Allocate(im.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: uint32(len(text))})
+	if f != nil {
+		log.Fatal(f)
+	}
+	if f := im.Table.WriteBytes(buf, 0, []byte(text)); f != nil {
+		log.Fatal(f)
+	}
+	writer := mustDomain(im, []isa.Instr{
+		isa.MovI(1, 0),
+		isa.MovI(2, uint32(len(text))),
+		isa.MovA(1, 2),
+		isa.Call(3, iosys.EntryWrite),
+		isa.Halt(),
+	})
+	for slot, ad := range append(devs, buf, writer) {
+		if f := im.Publish(uint32(slot), ad); f != nil {
+			log.Fatal(f)
+		}
+	}
+	var procs []obj.AD
+	for _, dev := range devs {
+		p, f := im.Spawn(writer, gdp.SpawnSpec{AArgs: [4]obj.AD{obj.NilAD, obj.NilAD, buf, dev}})
+		if f != nil {
+			log.Fatal(f)
+		}
+		procs = append(procs, p)
+		if f := im.Publish(uint32(10+len(procs)), p); f != nil {
+			log.Fatal(f)
+		}
+	}
+	waitAll(im, procs)
+	fmt.Printf("io demo: one writer program, three device instances\n")
+	fmt.Printf("  console: %q\n", console.Output())
+	st := tape.Status()
+	fmt.Printf("  tape   : status %#x (class %d)\n", st, st>>8)
+	fmt.Printf("  disk   : block 0 begins %q\n", firstBytes(disk))
+}
+
+func firstBytes(d *iosys.Disk) string {
+	p := make([]byte, 8)
+	_ = d.Seek(0)
+	n, _ := d.Read(p)
+	return string(p[:n])
+}

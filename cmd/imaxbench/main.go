@@ -1,0 +1,133 @@
+// Command imaxbench runs the reproduction harness: every experiment in
+// DESIGN.md §4 (one per claim of the paper — the paper has no numbered
+// result tables, so the claims are the targets), printing the measured
+// tables that EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	imaxbench            run everything
+//	imaxbench -run E3    run one experiment
+//	imaxbench -list      list experiment ids
+//	imaxbench -md        emit Markdown (for EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	runID := flag.String("run", "", "run a single experiment id (e.g. E3)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	md := flag.Bool("md", false, "emit Markdown instead of plain text")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var results []*experiments.Result
+	if *runID != "" {
+		res, err := experiments.Run(*runID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "imaxbench:", err)
+			os.Exit(1)
+		}
+		results = append(results, res)
+	} else {
+		var err error
+		results, err = experiments.RunAll()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "imaxbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := 0
+	for _, r := range results {
+		if *md {
+			printMarkdown(r)
+		} else {
+			printPlain(r)
+		}
+		if !r.Pass {
+			failed++
+		}
+	}
+	if *md {
+		return
+	}
+	fmt.Printf("\n%d experiments, %d reproduced the paper's shape, %d did not\n",
+		len(results), len(results)-failed, failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func printPlain(r *experiments.Result) {
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	fmt.Printf("\n=== %s: %s [%s]\n", r.ID, r.Title, status)
+	fmt.Printf("claim   : %s\n", r.Claim)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cols []string) {
+		parts := make([]string, len(cols))
+		for i, c := range cols {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		fmt.Println("  " + strings.Join(parts, "  "))
+	}
+	printRow(r.Header)
+	for _, row := range r.Rows {
+		printRow(row)
+	}
+	fmt.Printf("verdict : %s\n", r.Verdict)
+	for _, n := range r.Notes {
+		fmt.Printf("note    : %s\n", n)
+	}
+}
+
+func printMarkdown(r *experiments.Result) {
+	status := "✅"
+	if !r.Pass {
+		status = "❌"
+	}
+	fmt.Printf("\n### %s — %s %s\n\n", r.ID, r.Title, status)
+	fmt.Printf("**Claim.** %s\n\n", r.Claim)
+	fmt.Println("| " + strings.Join(r.Header, " | ") + " |")
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Println("| " + strings.Join(sep, " | ") + " |")
+	for _, row := range r.Rows {
+		fmt.Println("| " + strings.Join(row, " | ") + " |")
+	}
+	fmt.Printf("\n**Measured.** %s\n", r.Verdict)
+	for _, n := range r.Notes {
+		fmt.Printf("\n*%s*\n", n)
+	}
+}

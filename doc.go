@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "iMAX: A
+// Multiprocessor Operating System for an Object-Based Computer"
+// (SOSP 1981): the Intel iAPX 432's operating system, rebuilt over a
+// deterministic simulator of the 432's capability architecture.
+//
+// The package tree is documented in README.md; the reproduction targets
+// and their results are in DESIGN.md and EXPERIMENTS.md. The root package
+// holds only the benchmark harness (bench_test.go, one benchmark per
+// paper claim, and ablation_bench_test.go for design-decision ablations).
+//
+// Entry points:
+//
+//   - internal/core.Boot assembles a configured system (§6 of the paper:
+//     configuration is package selection);
+//   - cmd/imax runs demonstration workloads; cmd/imaxbench reproduces
+//     every claim; cmd/imaxasm assembles and runs a program from source;
+//   - examples/ holds six runnable programs against the public API.
+package repro

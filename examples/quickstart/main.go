@@ -1,0 +1,185 @@
+// Quickstart: boot a two-processor iMAX system, wire two processes
+// together through a hardware port, and watch the dispatching, blocking
+// and wakeup machinery do its job.
+//
+// The producer sends ten numbered messages; the consumer receives each
+// one, doubles its payload, and writes the result through the
+// device-independent console. Neither process knows the other exists —
+// the port is their only coupling, exactly the §4 model.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/gdp"
+	"repro/internal/iosys"
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/port"
+	"repro/internal/process"
+)
+
+func main() {
+	im, err := core.Boot(core.Config{Processors: 2, GC: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A bounded FIFO port: capacity 3 forces the producer to block and
+	// resume under backpressure.
+	prt, f := im.Ports.Create(im.Heap, 3, port.FIFO)
+	if f != nil {
+		log.Fatal(f)
+	}
+
+	console := iosys.NewConsole()
+	consoleDom, f := iosys.InstallConsole(im.Domains, im.Heap, console)
+	if f != nil {
+		log.Fatal(f)
+	}
+
+	// Producer: create a message object per iteration, tag it with the
+	// loop counter, send it.
+	producer := mustDomain(im, []isa.Instr{
+		isa.MovI(4, 10), // messages to send
+		isa.MovI(5, 1),  // sequence number
+		// loop:
+		isa.MovI(2, 8), // data bytes for CREATE
+		isa.MovI(3, 0), // access slots
+		isa.Create(1, 0, 2),
+		isa.Store(5, 1, 0), // message payload = seq
+		isa.MovI(6, 0),
+		isa.Send(1, 2, 6), // port in a2
+		isa.AddI(5, 5, 1),
+		isa.AddI(4, 4, ^uint32(0)),
+		isa.BrNZ(4, 2),
+		isa.Halt(),
+	})
+	// Consumer: receive, double the payload, store into the shared
+	// result object.
+	consumer := mustDomain(im, []isa.Instr{
+		isa.MovI(4, 10),
+		// loop:
+		isa.Recv(1, 2),    // a1 ← message from port a2
+		isa.Load(0, 1, 0), // r0 ← payload
+		isa.Add(0, 0, 0),  // double it
+		isa.Store(0, 3, 0),
+		isa.AddI(4, 4, ^uint32(0)),
+		isa.BrNZ(4, 1),
+		isa.Halt(),
+	})
+
+	result, f := im.MM.Allocate(im.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+	if f != nil {
+		log.Fatal(f)
+	}
+
+	// Everything we hold across Run must be reachable from the system
+	// directory: capabilities living only in Go variables are invisible
+	// to the collector, exactly as ADs held off-machine would be.
+	for slot, ad := range []obj.AD{result, prt, consoleDom, producer, consumer} {
+		if f := im.Publish(uint32(slot), ad); f != nil {
+			log.Fatal(f)
+		}
+	}
+
+	prod, f := im.Spawn(producer, gdp.SpawnSpec{
+		TimeSlice: 2_000,
+		AArgs:     [4]obj.AD{im.Heap, obj.NilAD, prt},
+	})
+	if f != nil {
+		log.Fatal(f)
+	}
+	cons, f := im.Spawn(consumer, gdp.SpawnSpec{
+		TimeSlice: 2_000,
+		AArgs:     [4]obj.AD{obj.NilAD, obj.NilAD, prt, result},
+	})
+	if f != nil {
+		log.Fatal(f)
+	}
+
+	// The processes too: a terminated process is garbage unless held.
+	if f := im.Publish(10, prod); f != nil {
+		log.Fatal(f)
+	}
+	if f := im.Publish(11, cons); f != nil {
+		log.Fatal(f)
+	}
+
+	done := func() bool {
+		ps, _ := im.Procs.StateOf(prod)
+		cs, _ := im.Procs.StateOf(cons)
+		return ps == process.StateTerminated && cs == process.StateTerminated
+	}
+	elapsed, f := im.RunUntil(done, 100_000_000)
+	if f != nil {
+		log.Fatalf("system did not settle: %v", f)
+	}
+
+	v, f := im.Table.ReadDWord(result, 0)
+	if f != nil {
+		log.Fatal(f)
+	}
+	banner := fmt.Sprintf("last message 10 doubled = %d\n", v)
+	writeToConsole(im, consoleDom, banner)
+
+	st := im.Stats()
+	fmt.Printf("quickstart: %d messages relayed through a capacity-3 port\n", 10)
+	fmt.Printf("  final payload           : %d (want 20)\n", v)
+	fmt.Printf("  virtual time            : %v\n", elapsed)
+	fmt.Printf("  dispatches              : %d\n", st.Dispatches)
+	fmt.Printf("  preemptions             : %d\n", st.Preemptions)
+	fmt.Printf("  instructions executed   : %d\n", st.Instructions)
+	fmt.Printf("  objects live            : %d\n", im.Table.Live())
+	if im.Collector != nil {
+		fmt.Printf("  gc cycles/reclaimed     : %d/%d\n",
+			im.Collector.Stats().Cycles, im.Collector.Stats().Reclaimed)
+	}
+	fmt.Printf("  console captured        : %q\n", console.Output())
+}
+
+func mustDomain(im *core.IMAX, prog []isa.Instr) obj.AD {
+	code, f := im.Domains.CreateCode(im.Heap, prog)
+	if f != nil {
+		log.Fatal(f)
+	}
+	dom, f := im.Domains.Create(im.Heap, code, []uint32{0})
+	if f != nil {
+		log.Fatal(f)
+	}
+	return dom
+}
+
+// writeToConsole pushes text through the device-independent interface
+// from the Go side by spawning a small writer process.
+func writeToConsole(im *core.IMAX, dev obj.AD, text string) {
+	buf, f := im.MM.Allocate(im.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: uint32(len(text))})
+	if f != nil {
+		log.Fatal(f)
+	}
+	if f := im.Table.WriteBytes(buf, 0, []byte(text)); f != nil {
+		log.Fatal(f)
+	}
+	writer := mustDomain(im, []isa.Instr{
+		isa.MovI(1, 0),
+		isa.MovI(2, uint32(len(text))),
+		isa.MovA(1, 2),
+		isa.Call(3, iosys.EntryWrite),
+		isa.Halt(),
+	})
+	p, f := im.Spawn(writer, gdp.SpawnSpec{AArgs: [4]obj.AD{obj.NilAD, obj.NilAD, buf, dev}})
+	if f != nil {
+		log.Fatal(f)
+	}
+	done := func() bool {
+		st, _ := im.Procs.StateOf(p)
+		return st == process.StateTerminated
+	}
+	if _, f := im.RunUntil(done, 10_000_000); f != nil {
+		log.Fatal(f)
+	}
+}

@@ -1,0 +1,203 @@
+// Tapefarm: the §8.2 lost-object story, end to end.
+//
+// A tape-drive type manager owns a fixed pool of drives, each represented
+// by an object of the user-defined type tape_drive. Clients check drives
+// out, and — through accident or intent — some clients lose their
+// capability without returning the drive. In a conventional system those
+// drives would be gone; here the manager armed a destruction filter on
+// its TDO, so the garbage collector delivers every lost drive to the
+// manager's recovery port instead of reclaiming it, and the pool refills.
+//
+// Run with: go run ./examples/tapefarm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/iosys"
+	"repro/internal/obj"
+	"repro/internal/port"
+)
+
+const (
+	driveCount  = 8
+	checkouts   = 50 // drives checked out over the run
+	loseEvery   = 3  // every third client loses its drive
+	dirTDO      = 0
+	dirRecovery = 1
+	dirPool     = 2
+)
+
+// manager is the tape-drive type manager: a pool of drive objects plus
+// the recovery port its destruction filter feeds.
+type manager struct {
+	im       *core.IMAX
+	tdo      obj.AD
+	recovery obj.AD
+	pool     obj.AD // directory object holding free-drive capabilities
+	free     int
+	devices  map[obj.Index]*iosys.Tape // the physical media behind the objects
+}
+
+func newManager(im *core.IMAX) *manager {
+	tdo, f := im.TDOs.Define("tape_drive", obj.LevelGlobal, obj.NilIndex)
+	if f != nil {
+		log.Fatal(f)
+	}
+	recovery, f := im.Ports.Create(im.Heap, driveCount*2, port.FIFO)
+	if f != nil {
+		log.Fatal(f)
+	}
+	pool, f := im.MM.Allocate(im.Heap, obj.CreateSpec{Type: obj.TypeGeneric, AccessSlots: driveCount})
+	if f != nil {
+		log.Fatal(f)
+	}
+	if f := im.TDOs.ArmDestructionFilter(tdo, recovery); f != nil {
+		log.Fatal(f)
+	}
+	// The manager's own anchors live in the system directory.
+	for slot, ad := range map[uint32]obj.AD{dirTDO: tdo, dirRecovery: recovery, dirPool: pool} {
+		if f := im.Publish(slot, ad); f != nil {
+			log.Fatal(f)
+		}
+	}
+	m := &manager{im: im, tdo: tdo, recovery: recovery, pool: pool,
+		devices: make(map[obj.Index]*iosys.Tape)}
+	for i := 0; i < driveCount; i++ {
+		drive, f := im.TDOs.CreateInstance(tdo, obj.CreateSpec{DataLen: 16})
+		if f != nil {
+			log.Fatal(f)
+		}
+		if f := im.Table.WriteDWord(drive, 0, uint32(i)); f != nil {
+			log.Fatal(f)
+		}
+		if f := im.Table.StoreAD(pool, uint32(i), drive); f != nil {
+			log.Fatal(f)
+		}
+		m.devices[drive.Index] = iosys.NewTape(1 << 16)
+		m.free++
+	}
+	return m
+}
+
+// checkout hands a drive to a client: the capability leaves the pool, so
+// the client's copy is the only reference.
+func (m *manager) checkout() (obj.AD, bool) {
+	for i := uint32(0); i < driveCount; i++ {
+		ad, f := m.im.Table.LoadAD(m.pool, i)
+		if f != nil {
+			log.Fatal(f)
+		}
+		if ad.Valid() {
+			if f := m.im.Table.StoreAD(m.pool, i, obj.NilAD); f != nil {
+				log.Fatal(f)
+			}
+			m.free--
+			// Clients get no delete right: only the manager
+			// disposes of drives.
+			return ad.Restrict(obj.RightDelete), true
+		}
+	}
+	return obj.NilAD, false
+}
+
+// checkin returns a drive to the pool.
+func (m *manager) checkin(drive obj.AD) {
+	ok, f := m.im.TDOs.Is(m.tdo, drive)
+	if f != nil || !ok {
+		log.Fatal("checkin of a non-drive")
+	}
+	for i := uint32(0); i < driveCount; i++ {
+		ad, _ := m.im.Table.LoadAD(m.pool, i)
+		if !ad.Valid() {
+			if f := m.im.Table.StoreAD(m.pool, i, drive); f != nil {
+				log.Fatal(f)
+			}
+			m.free++
+			return
+		}
+	}
+	log.Fatal("pool overflow")
+}
+
+// recoverLost drains the recovery port: every delivery is a drive some
+// client lost, recognisable and restorable because its type identity
+// survived (§7.2). Returns the number recovered.
+func (m *manager) recoverLost() int {
+	n := 0
+	for {
+		msg, ok, f := m.im.ReceiveMessage(m.recovery)
+		if f != nil {
+			log.Fatal(f)
+		}
+		if !ok {
+			return n
+		}
+		isDrive, f := m.im.TDOs.Is(m.tdo, msg)
+		if f != nil {
+			log.Fatal(f)
+		}
+		if !isDrive {
+			log.Fatalf("recovery port delivered a non-drive: %v", msg)
+		}
+		// The collector marked it finalized; a fresh instance takes
+		// its place in the accounting (rewinding the physical medium)
+		// while the recovered object itself returns to service.
+		if tape := m.devices[msg.Index]; tape != nil {
+			tape.Rewind()
+		}
+		m.checkin(msg)
+		n++
+	}
+}
+
+func main() {
+	im, err := core.Boot(core.Config{Processors: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := newManager(im)
+
+	lost, returned, denied := 0, 0, 0
+	for c := 0; c < checkouts; c++ {
+		drive, ok := m.checkout()
+		if !ok {
+			// Pool empty: run a collection — lost drives come
+			// back through the filter.
+			if _, f := im.Collect(); f != nil {
+				log.Fatal(f)
+			}
+			got := m.recoverLost()
+			fmt.Printf("  pool empty at checkout %d: collection recovered %d drives\n", c, got)
+			drive, ok = m.checkout()
+			if !ok {
+				denied++
+				continue
+			}
+		}
+		// The client uses the drive, then either returns it or loses
+		// the capability (drops it on the floor).
+		if c%loseEvery == 0 {
+			lost++ // the only AD was in our hands; now it is gone
+		} else {
+			m.checkin(drive)
+			returned++
+		}
+	}
+	// Final sweep.
+	if _, f := im.Collect(); f != nil {
+		log.Fatal(f)
+	}
+	recovered := m.recoverLost()
+
+	fmt.Printf("tapefarm: %d drives, %d checkouts, %d returned, %d lost\n",
+		driveCount, checkouts, returned, lost)
+	fmt.Printf("  final collection recovered : %d drives\n", recovered)
+	fmt.Printf("  drives in pool             : %d of %d\n", m.free, driveCount)
+	if m.free != driveCount {
+		log.Fatalf("LOST OBJECTS: %d drives unaccounted for", driveCount-m.free)
+	}
+	fmt.Println("  every lost drive came home through the destruction filter")
+}

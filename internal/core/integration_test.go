@@ -1,0 +1,226 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gdp"
+	"repro/internal/iosys"
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/pm"
+	"repro/internal/port"
+	"repro/internal/process"
+)
+
+// TestEverythingAtOnce is the whole-system integration test: four
+// processors, the swapping memory manager, the collector daemon, a
+// destruction-filtered type, device I/O, a process tree under the fair
+// scheduler, and a port-connected workload — all running together and
+// settling to the right answers. This is the configuration story of §6
+// exercised as one system rather than as isolated packages.
+func TestEverythingAtOnce(t *testing.T) {
+	im, err := Boot(Config{
+		Processors:  4,
+		MemoryBytes: 8 << 20,
+		Swapping:    true,
+		GC:          true,
+		GCWork:      32,
+		GCInterval:  50_000,
+		Filing:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic := pm.NewBasic(im.System)
+
+	// A filtered resource type with a recovery port.
+	tdo, f := im.TDOs.Define("widget", obj.LevelGlobal, obj.NilIndex)
+	if f != nil {
+		t.Fatal(f)
+	}
+	recovery, f := im.Ports.Create(im.Heap, 256, port.FIFO)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if f := im.TDOs.ArmDestructionFilter(tdo, recovery); f != nil {
+		t.Fatal(f)
+	}
+
+	// Devices.
+	console := iosys.NewConsole()
+	consoleDom, f := iosys.InstallConsole(im.Domains, im.Heap, console)
+	if f != nil {
+		t.Fatal(f)
+	}
+
+	// The workload: a two-stage pipeline whose consumer writes its
+	// total through the console device; alongside it, a churner
+	// allocating garbage to keep the collector honest; everything in a
+	// process tree under one root.
+	prt, f := im.Ports.Create(im.Heap, 8, port.FIFO)
+	if f != nil {
+		t.Fatal(f)
+	}
+	result, f := im.MM.Allocate(im.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+	if f != nil {
+		t.Fatal(f)
+	}
+	for slot, ad := range []obj.AD{tdo, recovery, consoleDom, prt, result} {
+		if f := im.Publish(uint32(slot), ad); f != nil {
+			t.Fatal(f)
+		}
+	}
+
+	producer := mustProg(t, im, []isa.Instr{
+		isa.MovI(4, 50),
+		isa.MovI(5, 1),
+		isa.MovI(2, 8),
+		isa.MovI(3, 0),
+		isa.Create(1, 0, 2),
+		isa.Store(5, 1, 0),
+		isa.MovI(6, 0),
+		isa.Send(1, 2, 6),
+		isa.AddI(5, 5, 1),
+		isa.AddI(4, 4, ^uint32(0)),
+		isa.BrNZ(4, 2),
+		isa.Halt(),
+	})
+	consumer := mustProg(t, im, []isa.Instr{
+		isa.MovI(4, 50),
+		isa.MovI(5, 0),
+		isa.Recv(1, 2),
+		isa.Load(0, 1, 0),
+		isa.Add(5, 5, 0),
+		isa.AddI(4, 4, ^uint32(0)),
+		isa.BrNZ(4, 2),
+		isa.Store(5, 3, 0),
+		isa.Halt(),
+	})
+	churner := mustProg(t, im, []isa.Instr{
+		isa.MovI(4, 300),
+		isa.MovI(2, 64),
+		isa.MovI(3, 1),
+		isa.Create(1, 0, 2),
+		isa.AddI(4, 4, ^uint32(0)),
+		isa.BrNZ(4, 3),
+		isa.Halt(),
+	})
+	for slot, ad := range []obj.AD{producer, consumer, churner} {
+		if f := im.Publish(uint32(10+slot), ad); f != nil {
+			t.Fatal(f)
+		}
+	}
+
+	root, f := basic.CreateProcess(churner, obj.NilAD, gdp.SpawnSpec{
+		TimeSlice: 2_000, AArgs: [4]obj.AD{im.Heap},
+	})
+	if f != nil {
+		t.Fatal(f)
+	}
+	prodP, f := basic.CreateProcess(producer, root, gdp.SpawnSpec{
+		TimeSlice: 2_000, FaultPort: im.SegFaultPort,
+		AArgs: [4]obj.AD{im.Heap, obj.NilAD, prt},
+	})
+	if f != nil {
+		t.Fatal(f)
+	}
+	consP, f := basic.CreateProcess(consumer, root, gdp.SpawnSpec{
+		TimeSlice: 2_000, FaultPort: im.SegFaultPort,
+		AArgs: [4]obj.AD{obj.NilAD, obj.NilAD, prt, result},
+	})
+	if f != nil {
+		t.Fatal(f)
+	}
+	for slot, p := range []obj.AD{root, prodP, consP} {
+		if f := im.Publish(uint32(20+slot), p); f != nil {
+			t.Fatal(f)
+		}
+	}
+
+	// Lose some widgets mid-run: the collector must deliver them to the
+	// recovery port while everything else is happening.
+	for i := 0; i < 40; i++ {
+		if _, f := im.TDOs.CreateInstance(tdo, obj.CreateSpec{DataLen: 16}); f != nil {
+			t.Fatal(f)
+		}
+	}
+
+	// Pause the whole tree mid-flight and verify it froze, then resume.
+	for i := 0; i < 30; i++ {
+		if _, f := im.Step(2_000); f != nil {
+			t.Fatal(f)
+		}
+	}
+	if f := basic.Stop(root); f != nil {
+		t.Fatal(f)
+	}
+	frozenProd, _ := im.Procs.CPUCycles(prodP)
+	for i := 0; i < 30; i++ {
+		if _, f := im.Step(2_000); f != nil {
+			t.Fatal(f)
+		}
+	}
+	if got, _ := im.Procs.CPUCycles(prodP); got != frozenProd {
+		t.Fatal("stopped subtree kept running")
+	}
+	if f := basic.Start(root); f != nil {
+		t.Fatal(f)
+	}
+
+	done := func() bool {
+		for _, p := range []obj.AD{root, prodP, consP} {
+			st, _ := im.Procs.StateOf(p)
+			if st != process.StateTerminated {
+				return false
+			}
+		}
+		return im.Collector.Stats().Cycles >= 2
+	}
+	if _, f := im.RunUntil(done, 3_000_000_000); f != nil {
+		t.Fatalf("system did not settle: %v", f)
+	}
+
+	// The pipeline's arithmetic survived everything: sum 1..50.
+	if v, _ := im.Table.ReadDWord(result, 0); v != 1275 {
+		t.Fatalf("pipeline sum = %d, want 1275", v)
+	}
+	// The churner's garbage was collected while it ran.
+	if im.Collector.Stats().Reclaimed == 0 {
+		t.Fatal("collector reclaimed nothing")
+	}
+	// The lost widgets all arrived at the recovery port.
+	recovered := 0
+	for {
+		msg, ok, f := im.ReceiveMessage(recovery)
+		if f != nil {
+			t.Fatal(f)
+		}
+		if !ok {
+			break
+		}
+		if isW, _ := im.TDOs.Is(tdo, msg); !isW {
+			t.Fatal("non-widget recovered")
+		}
+		recovered++
+	}
+	if recovered != 40 {
+		t.Fatalf("recovered %d of 40 widgets", recovered)
+	}
+	// No level-discipline violations anywhere in the run.
+	if v := im.CheckLevels(); len(v) != 0 {
+		t.Fatalf("level violations: %v", v)
+	}
+}
+
+func mustProg(t *testing.T, im *IMAX, prog []isa.Instr) obj.AD {
+	t.Helper()
+	code, f := im.Domains.CreateCode(im.Heap, prog)
+	if f != nil {
+		t.Fatal(f)
+	}
+	dom, f := im.Domains.Create(im.Heap, code, []uint32{0})
+	if f != nil {
+		t.Fatal(f)
+	}
+	return dom
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/inspect"
+	"repro/internal/obj"
+	"repro/internal/port"
+	"repro/internal/process"
+	"repro/internal/workload"
+)
+
+// TestSoak runs a mixed workload — compute, churn, pipelines, lost typed
+// objects, random stop/start and processor outages — for a long stretch
+// of virtual time on a fully loaded configuration, then audits the
+// system-wide invariants:
+//
+//	conservation — every spawned process is in a legal terminal or
+//	               live state, and every pipeline produced its sum;
+//	reachability — the collector left no reachable object dangling and
+//	               no unreachable non-filtered object alive;
+//	accounting   — port wait queues are empty once everyone finished,
+//	               and the level discipline was never violated.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped with -short")
+	}
+	rng := rand.New(rand.NewSource(1))
+	im, err := Boot(Config{
+		Processors:  4,
+		MemoryBytes: 32 << 20,
+		Swapping:    true,
+		GC:          true,
+		GCWork:      48,
+		GCInterval:  40_000,
+		Filing:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A filtered type losing instances throughout.
+	tdo, _ := im.TDOs.Define("soak_widget", obj.LevelGlobal, obj.NilIndex)
+	recovery, _ := im.Ports.Create(im.Heap, 512, port.FIFO)
+	if f := im.TDOs.ArmDestructionFilter(tdo, recovery); f != nil {
+		t.Fatal(f)
+	}
+	im.Publish(0, tdo)
+	im.Publish(1, recovery)
+
+	var handles []*workload.Handle
+	addHandle := func(h *workload.Handle, f *obj.Fault) *workload.Handle {
+		if f != nil {
+			t.Fatal(f)
+		}
+		handles = append(handles, h)
+		slot := uint32(2 + len(handles))
+		anchor, af := im.MM.Allocate(im.Heap, obj.CreateSpec{
+			Type: obj.TypeGeneric, AccessSlots: uint32(len(h.Procs) + len(h.Results)),
+		})
+		if af != nil {
+			t.Fatal(af)
+		}
+		if f := im.Publish(slot, anchor); f != nil {
+			t.Fatal(f)
+		}
+		for i, p := range append(append([]obj.AD{}, h.Procs...), h.Results...) {
+			if f := im.Table.StoreADSystem(anchor, uint32(i), p); f != nil {
+				t.Fatal(f)
+			}
+		}
+		return h
+	}
+
+	addHandle(workload.Compute(im.System, 8, 20_000, 2_000))
+	addHandle(workload.Churn(im.System, 4, 400, 128, 2_000))
+	pipe := addHandle(workload.Pipeline(im.System, 3, 80, 4, 2_000))
+	addHandle(workload.ForkJoin(im.System, 3, 5_000, 2_000))
+
+	lost := 0
+	for step := 0; step < 3_000; step++ {
+		if _, f := im.Step(2_000); f != nil {
+			t.Fatalf("step %d: %v", step, f)
+		}
+		switch rng.Intn(40) {
+		case 0: // lose a widget
+			if _, f := im.TDOs.CreateInstance(tdo, obj.CreateSpec{DataLen: 16}); f == nil {
+				lost++
+			}
+		case 1: // processor outage and return
+			id := rng.Intn(len(im.CPUs))
+			if f := im.SetProcessorOnline(id, false); f != nil {
+				t.Fatal(f)
+			}
+			if im.OnlineProcessors() == 0 {
+				im.SetProcessorOnline(id, true)
+			}
+		case 2:
+			id := rng.Intn(len(im.CPUs))
+			im.SetProcessorOnline(id, true)
+		}
+	}
+	// Restore all processors and drain to completion.
+	for id := range im.CPUs {
+		im.SetProcessorOnline(id, true)
+	}
+	done := func() bool {
+		for _, h := range handles {
+			if !h.Done(im.System) {
+				return false
+			}
+		}
+		return true
+	}
+	if _, f := im.RunUntil(done, 5_000_000_000); f != nil {
+		t.Fatalf("soak did not drain: %v", f)
+	}
+
+	// Invariants.
+	if err := pipe.Verify(im.System, 3, 80); err != nil {
+		t.Error(err)
+	}
+	for _, h := range handles {
+		for _, p := range h.Procs {
+			st, f := im.Procs.StateOf(p)
+			if f != nil {
+				t.Fatalf("process unreadable: %v", f)
+			}
+			if st != process.StateTerminated {
+				t.Fatalf("process in state %v after drain", st)
+			}
+		}
+	}
+	// Widgets: recovered + still-pending(port) == lost, after one more
+	// collection to flush the tail.
+	if _, f := im.Collect(); f != nil {
+		t.Fatal(f)
+	}
+	recovered := 0
+	for {
+		_, ok, f := im.ReceiveMessage(recovery)
+		if f != nil {
+			t.Fatal(f)
+		}
+		if !ok {
+			break
+		}
+		recovered++
+	}
+	if recovered != lost {
+		t.Errorf("lost %d widgets, recovered %d", lost, recovered)
+	}
+	if v := im.CheckLevels(); len(v) != 0 {
+		t.Errorf("level violations: %v", v)
+	}
+	// Snapshot sanity: reachable ≤ live, bytes accounted.
+	snap := inspect.Take(im.Table)
+	if snap.Reachable > snap.Live {
+		t.Errorf("snapshot inconsistent: %+v", snap)
+	}
+	if snap.UsedBytes == 0 || snap.Pinned == 0 {
+		t.Errorf("snapshot empty: %+v", snap)
+	}
+}

@@ -1,0 +1,275 @@
+// Package domain implements the 432's domain objects: small protection
+// domains corresponding to the Ada package construct (§2 of the paper) —
+// "a structure for grouping and restricting accesses to the implementation
+// of a module. The 432 subprogram call instruction performs the dynamic
+// transition between domains."
+//
+// A domain bundles a code object with an entry-point table and up to a few
+// private objects only reachable through the domain. Crucially for the
+// paper's §4 argument, a domain's body may be either VM code or a native
+// Go handler, and the caller cannot tell which: "users can be unaware of
+// which operations have been implemented in hardware and which have been
+// left to software." Native domains are how iMAX's own packages (process
+// manager, memory manager, I/O) appear in the object world, and they model
+// the paper's "packages as types" extension — one specification, many
+// coexisting implementations, dynamically created instances.
+package domain
+
+import (
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/process"
+	"repro/internal/sro"
+	"repro/internal/vtime"
+)
+
+// RightCall on a domain capability permits invoking its entry points.
+const RightCall = obj.RightT1
+
+// MaxEntries bounds a domain's entry-point table.
+const MaxEntries = 64
+
+// Domain data-part layout.
+const (
+	offFlags      = 0 // word: bit0 = native
+	offEntryCount = 2 // word
+	offEntries    = 4 // entryCount × dword instruction indexes
+	domainData    = offEntries + MaxEntries*4
+
+	flagNative = 1 << 0
+)
+
+// Domain access-part slots.
+const (
+	slotCode = 0 // instruction object (VM domains)
+	// SlotPrivate0 starts the domain's private objects: the state its
+	// package body encapsulates (a type manager's TDO, a driver's
+	// device object, ...).
+	SlotPrivate0 = 1
+	domainSlots  = 1 + 4
+)
+
+// Env is the execution environment a native handler receives: the calling
+// process, the fresh context of the call (whose registers carry the
+// arguments and will carry the results), and the clock to charge for the
+// work performed. Handlers run at iMAX's inner levels (§7.3) and therefore
+// must not block and must not fault in normal operation: they return
+// faults only for caller errors, which are delivered to the caller.
+type Env struct {
+	Table *obj.Table
+	Procs *process.Manager
+	Proc  obj.AD // calling process
+	Ctx   obj.AD // context of this call: args in r0..r3/a0..a3
+	Clock *vtime.Clock
+}
+
+// Handler is a native domain body. Entry selects the entry point, matching
+// the entry indexes a VM domain would dispatch through.
+type Handler func(env *Env, entry uint32) *obj.Fault
+
+// Manager provides domain operations over an object table.
+type Manager struct {
+	Table *obj.Table
+	SRO   *sro.Manager
+
+	// handlers maps native domain objects to their Go bodies. Keyed by
+	// table index and guarded by generation at lookup so a stale
+	// registration can never run for a recycled slot.
+	handlers map[obj.Index]nativeReg
+	// programs caches decoded code images.
+	programs map[progKey][]isa.Instr
+}
+
+type nativeReg struct {
+	gen     uint32
+	handler Handler
+}
+
+type progKey struct {
+	idx obj.Index
+	gen uint32
+}
+
+// NewManager returns a domain manager.
+func NewManager(t *obj.Table, s *sro.Manager) *Manager {
+	return &Manager{
+		Table:    t,
+		SRO:      s,
+		handlers: make(map[obj.Index]nativeReg),
+		programs: make(map[progKey][]isa.Instr),
+	}
+}
+
+// CreateCode stores a program in a new instruction object.
+func (m *Manager) CreateCode(heap obj.AD, prog []isa.Instr) (obj.AD, *obj.Fault) {
+	img := isa.EncodeProgram(prog)
+	if len(img) == 0 {
+		return obj.NilAD, obj.Faultf(obj.FaultBounds, obj.NilAD, "empty program")
+	}
+	code, f := m.SRO.Create(heap, obj.CreateSpec{
+		Type:    obj.TypeInstruction,
+		DataLen: uint32(len(img)),
+	})
+	if f != nil {
+		return obj.NilAD, f
+	}
+	if f := m.Table.WriteBytes(code, 0, img); f != nil {
+		return obj.NilAD, f
+	}
+	return code, nil
+}
+
+// Program returns the decoded program of an instruction object, cached by
+// identity (index and generation), so repeated fetches cost nothing.
+func (m *Manager) Program(code obj.AD) ([]isa.Instr, *obj.Fault) {
+	d, f := m.Table.RequireType(code, obj.TypeInstruction)
+	if f != nil {
+		return nil, f
+	}
+	key := progKey{code.Index, d.Gen}
+	if prog, ok := m.programs[key]; ok {
+		return prog, nil
+	}
+	img, f := m.Table.ReadBytes(code, 0, d.DataLen)
+	if f != nil {
+		return nil, f
+	}
+	prog, err := isa.DecodeProgram(img)
+	if err != nil {
+		return nil, obj.Faultf(obj.FaultOddity, code, "%v", err)
+	}
+	m.programs[key] = prog
+	return prog, nil
+}
+
+// Create makes a VM domain over the given code object. entries lists the
+// instruction index of each entry point; entry 0 is the default.
+func (m *Manager) Create(heap obj.AD, code obj.AD, entries []uint32) (obj.AD, *obj.Fault) {
+	if _, f := m.Table.RequireType(code, obj.TypeInstruction); f != nil {
+		return obj.NilAD, f
+	}
+	dom, f := m.create(heap, entries, 0)
+	if f != nil {
+		return obj.NilAD, f
+	}
+	if f := m.Table.StoreAD(dom, slotCode, code); f != nil {
+		return obj.NilAD, f
+	}
+	return dom, nil
+}
+
+// CreateNative makes a domain whose body is the Go handler. Each call to
+// CreateNative yields a distinct domain instance — multiple instances of
+// one "package" may coexist, each with its own private objects, which is
+// exactly the dynamic-package-creation extension of §6.3.
+func (m *Manager) CreateNative(heap obj.AD, entryCount int, h Handler) (obj.AD, *obj.Fault) {
+	if h == nil {
+		return obj.NilAD, obj.Faultf(obj.FaultInvalidAD, obj.NilAD, "nil handler")
+	}
+	entries := make([]uint32, entryCount)
+	dom, f := m.create(heap, entries, flagNative)
+	if f != nil {
+		return obj.NilAD, f
+	}
+	d := m.Table.DescriptorAt(dom.Index)
+	m.handlers[dom.Index] = nativeReg{gen: d.Gen, handler: h}
+	return dom, nil
+}
+
+func (m *Manager) create(heap obj.AD, entries []uint32, flags uint16) (obj.AD, *obj.Fault) {
+	if len(entries) == 0 || len(entries) > MaxEntries {
+		return obj.NilAD, obj.Faultf(obj.FaultBounds, obj.NilAD,
+			"%d entry points outside 1..%d", len(entries), MaxEntries)
+	}
+	dom, f := m.SRO.Create(heap, obj.CreateSpec{
+		Type:        obj.TypeDomain,
+		DataLen:     domainData,
+		AccessSlots: domainSlots,
+	})
+	if f != nil {
+		return obj.NilAD, f
+	}
+	if f := m.Table.WriteWord(dom, offFlags, flags); f != nil {
+		return obj.NilAD, f
+	}
+	if f := m.Table.WriteWord(dom, offEntryCount, uint16(len(entries))); f != nil {
+		return obj.NilAD, f
+	}
+	for i, e := range entries {
+		if f := m.Table.WriteDWord(dom, offEntries+uint32(i)*4, e); f != nil {
+			return obj.NilAD, f
+		}
+	}
+	return dom, nil
+}
+
+// IsNative reports whether the domain's body is a Go handler.
+func (m *Manager) IsNative(dom obj.AD) (bool, *obj.Fault) {
+	if _, f := m.Table.RequireType(dom, obj.TypeDomain); f != nil {
+		return false, f
+	}
+	flags, f := m.Table.ReadWord(dom, offFlags)
+	if f != nil {
+		return false, f
+	}
+	return flags&flagNative != 0, nil
+}
+
+// HandlerOf returns the native body of a domain.
+func (m *Manager) HandlerOf(dom obj.AD) (Handler, *obj.Fault) {
+	d, f := m.Table.RequireType(dom, obj.TypeDomain)
+	if f != nil {
+		return nil, f
+	}
+	reg, ok := m.handlers[dom.Index]
+	if !ok || reg.gen != d.Gen {
+		return nil, obj.Faultf(obj.FaultOddity, dom, "native domain has no registered body")
+	}
+	return reg.handler, nil
+}
+
+// EntryIP reports the instruction index of entry point entry.
+func (m *Manager) EntryIP(dom obj.AD, entry uint32) (uint32, *obj.Fault) {
+	if _, f := m.Table.RequireType(dom, obj.TypeDomain); f != nil {
+		return 0, f
+	}
+	n, f := m.Table.ReadWord(dom, offEntryCount)
+	if f != nil {
+		return 0, f
+	}
+	if entry >= uint32(n) {
+		return 0, obj.Faultf(obj.FaultBounds, dom, "entry %d of %d", entry, n)
+	}
+	return m.Table.ReadDWord(dom, offEntries+entry*4)
+}
+
+// Code reports the domain's instruction object.
+func (m *Manager) Code(dom obj.AD) (obj.AD, *obj.Fault) {
+	if _, f := m.Table.RequireType(dom, obj.TypeDomain); f != nil {
+		return obj.NilAD, f
+	}
+	return m.Table.LoadAD(dom, slotCode)
+}
+
+// SetPrivate stores an object into one of the domain's private slots; only
+// code executing within the domain can reach it afterwards.
+func (m *Manager) SetPrivate(dom obj.AD, n uint32, ad obj.AD) *obj.Fault {
+	if _, f := m.Table.RequireType(dom, obj.TypeDomain); f != nil {
+		return f
+	}
+	if SlotPrivate0+n >= domainSlots {
+		return obj.Faultf(obj.FaultBounds, dom, "private slot %d", n)
+	}
+	return m.Table.StoreAD(dom, SlotPrivate0+n, ad)
+}
+
+// Private loads one of the domain's private objects.
+func (m *Manager) Private(dom obj.AD, n uint32) (obj.AD, *obj.Fault) {
+	if _, f := m.Table.RequireType(dom, obj.TypeDomain); f != nil {
+		return obj.NilAD, f
+	}
+	if SlotPrivate0+n >= domainSlots {
+		return obj.NilAD, obj.Faultf(obj.FaultBounds, dom, "private slot %d", n)
+	}
+	return m.Table.LoadAD(dom, SlotPrivate0+n)
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ipc"
+	"repro/internal/obj"
+	"repro/internal/port"
+	"repro/internal/sro"
+	"repro/internal/typedef"
+)
+
+func init() { register("E4", runE4) }
+
+// runE4 reproduces the Figure 1 / Figure 2 claim of §4: the generic typed
+// port package generates code identical to the untyped one — "the user of
+// typed ports suffers no penalty relative to even a hypothetical assembly
+// language programmer" — while the runtime-checked variant adds only "a
+// few more generated instructions". We measure wall time per
+// send/receive pair for all three layers over the same hardware port
+// machinery (Go's inliner plays the role of the Ada inline pragma).
+func runE4() (*Result, error) {
+	type tapeMsg struct{}
+
+	build := func() (*obj.Table, *sro.Manager, *port.Manager, obj.AD) {
+		tab := obj.NewTable(1 << 22)
+		s := sro.NewManager(tab)
+		heap, _ := s.NewGlobalHeap(0)
+		return tab, s, port.NewManager(tab, s), heap
+	}
+
+	benchUntyped := testing.Benchmark(func(b *testing.B) {
+		_, s, pm, heap := build()
+		u, f := ipc.CreateUntyped(pm, heap, 8, port.FIFO)
+		if f != nil {
+			b.Fatal(f)
+		}
+		msg, _ := s.Create(heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := u.Send(msg); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := u.Receive(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	benchTyped := testing.Benchmark(func(b *testing.B) {
+		_, s, pm, heap := build()
+		tp, f := ipc.CreateTyped[tapeMsg](pm, heap, 8, port.FIFO)
+		if f != nil {
+			b.Fatal(f)
+		}
+		raw, _ := s.Create(heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+		msg := ipc.Wrap[tapeMsg](raw)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tp.Send(msg); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tp.Receive(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	benchChecked := testing.Benchmark(func(b *testing.B) {
+		tab, s, pm, heap := build()
+		td := typedef.NewManager(tab)
+		tdo, f := td.Define("bench_msg", obj.LevelGlobal, obj.NilIndex)
+		if f != nil {
+			b.Fatal(f)
+		}
+		cp, f := ipc.CreateChecked(pm, td, heap, tdo, 8, port.FIFO)
+		if f != nil {
+			b.Fatal(f)
+		}
+		msg, f := td.CreateInstance(tdo, obj.CreateSpec{DataLen: 8})
+		if f != nil {
+			b.Fatal(f)
+		}
+		_ = s
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cp.Send(msg); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cp.Receive(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	un := float64(benchUntyped.NsPerOp())
+	ty := float64(benchTyped.NsPerOp())
+	ck := float64(benchChecked.NsPerOp())
+	overheadTyped := (ty - un) / un * 100
+	overheadChecked := (ck - un) / un * 100
+
+	res := &Result{
+		ID:     "E4",
+		Title:  "Typed ports: zero-cost compile-time typing (Figures 1–2)",
+		Claim:  "§4: code for typed ports is identical to untyped — no penalty; runtime checking adds a few instructions",
+		Header: []string{"interface", "ns per send+receive", "overhead vs untyped"},
+		Rows: [][]string{
+			row("Untyped_Ports (Fig. 1)", fmt.Sprintf("%.0f", un), "—"),
+			row("Typed_Ports (Fig. 2, generic)", fmt.Sprintf("%.0f", ty), fmt.Sprintf("%+.1f%%", overheadTyped)),
+			row("runtime-checked (TDO verify)", fmt.Sprintf("%.0f", ck), fmt.Sprintf("%+.1f%%", overheadChecked)),
+		},
+		Notes: []string{
+			"wall time, Go inliner standing in for pragma inline; both wrap one hardware port implementation",
+			"the typed wrapper is pure delegation over a phantom type: the compile-time guarantee costs nothing at runtime",
+		},
+	}
+	// Shape: typed within noise of untyped; checked visibly but modestly
+	// more expensive.
+	res.Pass = overheadTyped < 10 && overheadChecked > overheadTyped
+	res.Verdict = fmt.Sprintf("typed %+.1f%% vs untyped (noise); runtime check %+.1f%%", overheadTyped, overheadChecked)
+	return res, nil
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/gdp"
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/process"
+	"repro/internal/vtime"
+)
+
+func init() { register("E12", runE12) }
+
+// runE12 measures the port instructions of §4: send and receive are
+// single (microcoded) instructions, well below a domain switch in cost,
+// and the blocking path — sender parked in a carrier, woken by the
+// receiver — costs only what the dispatching machinery charges. We run a
+// non-blocking relay and a fully blocking ping-pong and report both.
+func runE12() (*Result, error) {
+	const msgs = 2000
+
+	// Non-blocking: one process sends and receives on a roomy port.
+	fastCy, err := measureSelfRelay(msgs)
+	if err != nil {
+		return nil, err
+	}
+	// Blocking: capacity-1 port, two processes, every exchange parks
+	// and wakes someone.
+	slowCy, err := measurePingPong(msgs)
+	if err != nil {
+		return nil, err
+	}
+
+	pairUs := vtime.Cycles(fastCy).Microseconds()
+	blockUs := vtime.Cycles(slowCy).Microseconds()
+	domainUs := (vtime.CostDomainCall + vtime.CostDomainReturn).Microseconds()
+
+	res := &Result{
+		ID:     "E12",
+		Title:  "Send/receive instruction cost and blocking semantics",
+		Claim:  "§4: send and receive are single hardware instructions; blocked processes resume automatically when space or messages appear",
+		Header: []string{"path", "cycles/exchange", "µs @8MHz"},
+		Rows: [][]string{
+			row("send+receive, no blocking", fmt.Sprintf("%.0f", fastCy), fmt.Sprintf("%.1f", pairUs)),
+			row("send+receive, blocking handoff", fmt.Sprintf("%.0f", slowCy), fmt.Sprintf("%.1f", blockUs)),
+			row("(domain switch, for scale)", fmt.Sprint(uint64(vtime.CostDomainCall+vtime.CostDomainReturn)), fmt.Sprintf("%.1f", domainUs)),
+		},
+		Notes: []string{
+			"blocking exchanges include carrier creation, dispatch-port traffic and processor rebinding",
+		},
+	}
+	res.Pass = pairUs < domainUs && slowCy > fastCy
+	res.Verdict = fmt.Sprintf("%.1f µs per unblocked exchange (vs %.1f µs domain switch); blocking handoff %.1f µs", pairUs, domainUs, blockUs)
+	return res, nil
+}
+
+func measureSelfRelay(msgs int) (float64, error) {
+	sys, err := gdp.New(gdp.Config{Processors: 1})
+	if err != nil {
+		return 0, err
+	}
+	prt, f := sys.Ports.Create(sys.Heap, 4, 0)
+	if f != nil {
+		return 0, f
+	}
+	msg, f := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+	if f != nil {
+		return 0, f
+	}
+	dom, f := makeDomain(sys, []isa.Instr{
+		isa.MovI(4, uint32(msgs)),
+		isa.MovI(5, 0),
+		isa.Send(1, 2, 5),
+		isa.Recv(1, 2),
+		isa.AddI(4, 4, ^uint32(0)),
+		isa.BrNZ(4, 2),
+		isa.Halt(),
+	})
+	if f != nil {
+		return 0, f
+	}
+	p, f := sys.Spawn(dom, gdp.SpawnSpec{AArgs: [4]obj.AD{obj.NilAD, msg, prt}})
+	if f != nil {
+		return 0, f
+	}
+	if _, f := sys.Run(0); f != nil {
+		return 0, f
+	}
+	if st, _ := sys.Procs.StateOf(p); st != process.StateTerminated {
+		return 0, fmt.Errorf("relay did not finish")
+	}
+	busy := sys.CPUs[0].Clock.Now() - sys.CPUs[0].IdleCycles
+	overhead := vtime.Cycles(msgs) * (vtime.CostALU + vtime.CostBranch)
+	return float64(busy-overhead) / float64(msgs), nil
+}
+
+func measurePingPong(msgs int) (float64, error) {
+	sys, err := gdp.New(gdp.Config{Processors: 1})
+	if err != nil {
+		return 0, err
+	}
+	ping, f := sys.Ports.Create(sys.Heap, 1, 0)
+	if f != nil {
+		return 0, f
+	}
+	pong, f := sys.Ports.Create(sys.Heap, 1, 0)
+	if f != nil {
+		return 0, f
+	}
+	ball, f := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+	if f != nil {
+		return 0, f
+	}
+	// a2 = receive port, a3 = send port, a1 = the ball (server starts
+	// with it).
+	player := func(starts bool) []isa.Instr {
+		var prog []isa.Instr
+		prog = append(prog, isa.MovI(4, uint32(msgs)), isa.MovI(5, 0))
+		loop := uint32(len(prog))
+		if starts {
+			prog = append(prog, isa.Send(1, 3, 5), isa.Recv(1, 2))
+		} else {
+			prog = append(prog, isa.Recv(1, 2), isa.Send(1, 3, 5))
+		}
+		prog = append(prog,
+			isa.AddI(4, 4, ^uint32(0)),
+			isa.BrNZ(4, loop),
+			isa.Halt(),
+		)
+		return prog
+	}
+	serveDom, f := makeDomain(sys, player(true))
+	if f != nil {
+		return 0, f
+	}
+	returnDom, f := makeDomain(sys, player(false))
+	if f != nil {
+		return 0, f
+	}
+	p1, f := sys.Spawn(serveDom, gdp.SpawnSpec{AArgs: [4]obj.AD{obj.NilAD, ball, pong, ping}})
+	if f != nil {
+		return 0, f
+	}
+	p2, f := sys.Spawn(returnDom, gdp.SpawnSpec{AArgs: [4]obj.AD{obj.NilAD, obj.NilAD, ping, pong}})
+	if f != nil {
+		return 0, f
+	}
+	if _, f := sys.Run(0); f != nil {
+		return 0, f
+	}
+	for _, p := range []obj.AD{p1, p2} {
+		if st, _ := sys.Procs.StateOf(p); st != process.StateTerminated {
+			c, _ := sys.Procs.FaultCode(p)
+			return 0, fmt.Errorf("ping-pong stuck (fault %v)", c)
+		}
+	}
+	busy := sys.CPUs[0].Clock.Now() - sys.CPUs[0].IdleCycles
+	// Each round trip is two exchanges (one per player).
+	return float64(busy) / float64(2*msgs), nil
+}

@@ -1,0 +1,101 @@
+// Package experiments implements the reproduction harness: one experiment
+// per quantitative or behavioural claim in the paper (the paper has no
+// numbered tables or evaluation figures — it is a 1981 systems-description
+// paper — so DESIGN.md §4 assigns each claim an experiment id E1..E14).
+//
+// Every experiment builds its own system, runs its workload, and returns a
+// Result whose rows are what cmd/imaxbench prints and EXPERIMENTS.md
+// records. Pass/fail encodes the *shape* the paper claims (who wins, by
+// roughly what factor), never absolute wall-clock numbers.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Result is one experiment's reproduction record.
+type Result struct {
+	ID    string // E1..E14
+	Title string
+	// Claim quotes or paraphrases the paper's statement.
+	Claim string
+	// Header and Rows form the measured table.
+	Header []string
+	Rows   [][]string
+	// Verdict summarises measured-vs-claim in one line.
+	Verdict string
+	// Pass reports whether the claim's shape held.
+	Pass bool
+	// Notes carry caveats (substitutions, calibration).
+	Notes []string
+}
+
+// Runner produces one experiment result.
+type Runner func() (*Result, error)
+
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+}
+
+// IDs lists registered experiment ids in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// E2 < E10 needs numeric ordering.
+		return idNum(out[i]) < idNum(out[j])
+	})
+	return out
+}
+
+func idNum(id string) int {
+	var n int
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// Run executes one experiment by id.
+func Run(id string) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q", id)
+	}
+	return r()
+}
+
+// RunAll executes every experiment in id order.
+func RunAll() ([]*Result, error) {
+	var out []*Result
+	for _, id := range IDs() {
+		res, err := Run(id)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", id, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// row formats a table row.
+func row(cols ...any) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		switch v := c.(type) {
+		case string:
+			out[i] = v
+		case float64:
+			out[i] = fmt.Sprintf("%.2f", v)
+		default:
+			out[i] = fmt.Sprint(c)
+		}
+	}
+	return out
+}

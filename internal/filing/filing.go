@@ -1,0 +1,324 @@
+// Package filing implements a simplified iMAX object filing system (§7.2
+// of the paper and its companion reference 16): a storage channel through
+// which objects can pass "which might cause them to lose their
+// compile-time type identity" in a conventional system, but here "its
+// hardware-recognized type identity is guaranteed to be preserved and
+// checked, either by the hardware or by object filing."
+//
+// Passivate serialises the object graph reachable from a root —
+// hardware types, user-type labels, data parts, and the shape of the
+// access parts — into a token-addressed store. Activate rebuilds the
+// graph as fresh objects. User types are recorded by TDO *name* and
+// re-bound on activation through a type registry supplied by the
+// cooperating type managers, so an activated object is an instance of the
+// manager's live TDO, not of a forged copy: the filing system preserves
+// identity, it does not mint it.
+//
+// Only global (level-0) objects may be filed: a reference to a local
+// object would dangle the moment its heap unwound, and the level rule
+// that prevents that in memory must hold across the store as well.
+package filing
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/obj"
+	"repro/internal/sro"
+	"repro/internal/typedef"
+)
+
+// Errors reported by the filing system.
+var (
+	ErrNoSuchFile  = errors.New("filing: no such file")
+	ErrCorrupt     = errors.New("filing: stored image fails its checksum")
+	ErrUnboundType = errors.New("filing: stored user type has no bound TDO")
+)
+
+// Store is one object filing volume.
+type Store struct {
+	Table *obj.Table
+	SROs  *sro.Manager
+	TDOs  *typedef.Manager
+
+	files map[uint64][]byte
+	next  uint64
+	// types maps user-type names to the live TDOs that activation
+	// labels instances with.
+	types map[string]obj.AD
+
+	// Stats.
+	FiledObjects     uint64
+	ActivatedObjects uint64
+	FiledBytes       uint64
+}
+
+// NewStore returns an empty filing volume over the given managers.
+func NewStore(t *obj.Table, s *sro.Manager, td *typedef.Manager) *Store {
+	return &Store{
+		Table: t, SROs: s, TDOs: td,
+		files: make(map[uint64][]byte),
+		next:  1,
+		types: make(map[string]obj.AD),
+	}
+}
+
+// BindType registers a live TDO for activation: stored objects whose
+// user-type name matches are labelled as instances of this TDO. Type
+// managers call this at configuration time.
+func (s *Store) BindType(name string, tdo obj.AD) *obj.Fault {
+	if _, f := s.Table.RequireType(tdo, obj.TypeTDO); f != nil {
+		return f
+	}
+	s.types[name] = tdo
+	return nil
+}
+
+// Serialized image layout (little endian):
+//
+//	magic  uint32 "iMAX"
+//	count  uint32
+//	per object:
+//	  type      uint8
+//	  nameLen   uint16 + bytes (user type name, empty if none)
+//	  dataLen   uint32 + bytes
+//	  slots     uint32
+//	  per slot: uint32 graph index +1, or 0 for nil
+//	crc32 of everything above
+const fileMagic = 0x58414D69 // "iMAX"
+
+// Passivate files the object graph reachable from root and returns its
+// token. The root must be a global (level-0) object, and so must the
+// whole reachable graph — the level rule guarantees the rest of the graph
+// is if the root is.
+func (s *Store) Passivate(root obj.AD) (uint64, error) {
+	d, f := s.Table.Resolve(root)
+	if f != nil {
+		return 0, f
+	}
+	if d.Level != obj.LevelGlobal {
+		return 0, obj.Faultf(obj.FaultLevel, root, "only global objects may be filed")
+	}
+
+	// Breadth-first enumeration; index in visit order is the graph id.
+	order := []obj.AD{root}
+	ids := map[obj.Index]int{root.Index: 0}
+	for i := 0; i < len(order); i++ {
+		f := s.Table.Referents(order[i].Index, func(ad obj.AD) {
+			if _, seen := ids[ad.Index]; !seen {
+				ids[ad.Index] = len(order)
+				order = append(order, ad)
+			}
+		})
+		if f != nil {
+			return 0, f
+		}
+	}
+
+	var img []byte
+	img = binary.LittleEndian.AppendUint32(img, fileMagic)
+	img = binary.LittleEndian.AppendUint32(img, uint32(len(order)))
+	for _, ad := range order {
+		d := s.Table.DescriptorAt(ad.Index)
+		if d == nil {
+			return 0, obj.Faultf(obj.FaultOddity, ad, "object vanished during passivation")
+		}
+		img = append(img, byte(d.Type))
+		name := ""
+		if d.UserType != obj.NilIndex {
+			tdoAD := obj.AD{Index: d.UserType, Gen: s.Table.DescriptorAt(d.UserType).Gen, Rights: obj.RightsAll}
+			n, f := s.TDOs.Name(tdoAD)
+			if f != nil {
+				return 0, f
+			}
+			name = n
+		}
+		img = binary.LittleEndian.AppendUint16(img, uint16(len(name)))
+		img = append(img, name...)
+		img = binary.LittleEndian.AppendUint32(img, d.DataLen)
+		if d.DataLen > 0 {
+			ad := obj.AD{Index: ad.Index, Gen: d.Gen, Rights: obj.RightsAll}
+			data, f := s.Table.ReadBytes(ad, 0, d.DataLen)
+			if f != nil {
+				return 0, f
+			}
+			img = append(img, data...)
+		}
+		img = binary.LittleEndian.AppendUint32(img, d.AccessSlots)
+		fullAD := obj.AD{Index: ad.Index, Gen: d.Gen, Rights: obj.RightsAll}
+		for slot := uint32(0); slot < d.AccessSlots; slot++ {
+			ref, f := s.Table.LoadAD(fullAD, slot)
+			if f != nil {
+				return 0, f
+			}
+			var enc uint32
+			if ref.Valid() {
+				if id, ok := ids[ref.Index]; ok {
+					enc = uint32(id) + 1
+				}
+				// Dangling references file as nil: the object
+				// they named is already gone.
+			}
+			img = binary.LittleEndian.AppendUint32(img, enc)
+		}
+	}
+	img = binary.LittleEndian.AppendUint32(img, crc32.ChecksumIEEE(img))
+
+	tok := s.next
+	s.next++
+	s.files[tok] = img
+	s.FiledObjects += uint64(len(order))
+	s.FiledBytes += uint64(len(img))
+	return tok, nil
+}
+
+// Activate rebuilds a filed graph as fresh objects allocated from heap
+// and returns a capability for the root. Stored user types are re-bound
+// through the type registry; an unbound type name is an error — identity
+// cannot be conjured.
+func (s *Store) Activate(tok uint64, heap obj.AD) (obj.AD, error) {
+	img, ok := s.files[tok]
+	if !ok {
+		return obj.NilAD, ErrNoSuchFile
+	}
+	if len(img) < 12 {
+		return obj.NilAD, ErrCorrupt
+	}
+	body, sum := img[:len(img)-4], binary.LittleEndian.Uint32(img[len(img)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return obj.NilAD, ErrCorrupt
+	}
+	r := reader{b: body}
+	if r.u32() != fileMagic {
+		return obj.NilAD, ErrCorrupt
+	}
+	count := int(r.u32())
+
+	type pending struct {
+		ad    obj.AD
+		slots []uint32
+	}
+	objs := make([]pending, 0, count)
+	for i := 0; i < count; i++ {
+		typ := obj.Type(r.u8())
+		name := string(r.bytes(int(r.u16())))
+		dataLen := r.u32()
+		data := r.bytes(int(dataLen))
+		slots := r.u32()
+		refs := make([]uint32, slots)
+		for j := range refs {
+			refs[j] = r.u32()
+		}
+		if r.err != nil {
+			return obj.NilAD, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+		}
+		spec := obj.CreateSpec{Type: typ, DataLen: dataLen, AccessSlots: slots}
+		if name != "" {
+			tdo, ok := s.types[name]
+			if !ok {
+				return obj.NilAD, fmt.Errorf("%w: %q", ErrUnboundType, name)
+			}
+			spec.UserType = tdo.Index
+		}
+		ad, f := s.SROs.Create(heap, spec)
+		if f != nil {
+			return obj.NilAD, f
+		}
+		if dataLen > 0 {
+			if f := s.Table.WriteBytes(ad, 0, data); f != nil {
+				return obj.NilAD, f
+			}
+		}
+		objs = append(objs, pending{ad: ad, slots: refs})
+	}
+	// Second pass: rebuild the edges.
+	for _, p := range objs {
+		for slot, enc := range p.slots {
+			if enc == 0 {
+				continue
+			}
+			if int(enc-1) >= len(objs) {
+				return obj.NilAD, ErrCorrupt
+			}
+			if f := s.Table.StoreAD(p.ad, uint32(slot), objs[enc-1].ad); f != nil {
+				return obj.NilAD, f
+			}
+		}
+	}
+	s.ActivatedObjects += uint64(len(objs))
+	return objs[0].ad, nil
+}
+
+// Delete removes a filed image.
+func (s *Store) Delete(tok uint64) error {
+	if _, ok := s.files[tok]; !ok {
+		return ErrNoSuchFile
+	}
+	delete(s.files, tok)
+	return nil
+}
+
+// Files reports the number of stored images.
+func (s *Store) Files() int { return len(s.files) }
+
+// Corrupt flips one byte of a stored image — the fault-injection hook for
+// the damage-detection tests.
+func (s *Store) Corrupt(tok uint64, at int) error {
+	img, ok := s.files[tok]
+	if !ok {
+		return ErrNoSuchFile
+	}
+	if at < 0 || at >= len(img) {
+		return fmt.Errorf("filing: corrupt offset %d out of range", at)
+	}
+	img[at] ^= 0xFF
+	return nil
+}
+
+// reader is a bounds-checked little-endian cursor.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) {
+		r.err = fmt.Errorf("truncated at offset %d", r.off)
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+func (r *reader) u8() uint8 {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (r *reader) u16() uint16 {
+	p := r.take(2)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(p)
+}
+
+func (r *reader) u32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (r *reader) bytes(n int) []byte { return r.take(n) }

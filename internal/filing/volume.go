@@ -1,0 +1,238 @@
+package filing
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/iosys"
+)
+
+// Disk-backed volumes. The in-memory Store keeps images in a map; a
+// DiskVolume writes them through a block device from internal/iosys, so
+// a filed object graph survives as device contents — the release-2
+// arrangement in which object filing and the I/O system meet (§9). The
+// block layout is deliberately simple: block 0 is a directory of
+// (token, startBlock, length) entries; images occupy contiguous block
+// runs allocated first-fit.
+
+// DiskVolume persists filing images on a block device.
+type DiskVolume struct {
+	disk      *iosys.Disk
+	blockSize int
+	blocks    int
+	// dir maps token -> extent; kept in memory and mirrored to block 0
+	// on every change (the directory is the volume's superblock).
+	dir map[uint64]diskExtent
+}
+
+type diskExtent struct {
+	start  int
+	blocks int
+	length int // bytes of the image
+}
+
+// maxDirEntries bounds the directory to what block 0 holds:
+// each entry is 20 bytes (token 8, start 4, blocks 4, length 4).
+const dirEntrySize = 20
+
+// NewDiskVolume formats a volume over the disk.
+func NewDiskVolume(d *iosys.Disk, blocks, blockSize int) (*DiskVolume, error) {
+	if blocks < 2 {
+		return nil, fmt.Errorf("filing: volume needs at least 2 blocks")
+	}
+	return &DiskVolume{
+		disk:      d,
+		blockSize: blockSize,
+		blocks:    blocks,
+		dir:       make(map[uint64]diskExtent),
+	}, nil
+}
+
+// maxEntries reports the directory capacity.
+func (v *DiskVolume) maxEntries() int { return (v.blockSize - 4) / dirEntrySize }
+
+// Put writes an image under token.
+func (v *DiskVolume) Put(token uint64, img []byte) error {
+	if _, dup := v.dir[token]; dup {
+		return fmt.Errorf("filing: token %d already on volume", token)
+	}
+	if len(v.dir) >= v.maxEntries() {
+		return fmt.Errorf("filing: volume directory full (%d entries)", v.maxEntries())
+	}
+	need := (len(img) + v.blockSize - 1) / v.blockSize
+	if need == 0 {
+		need = 1
+	}
+	start, ok := v.findRun(need)
+	if !ok {
+		return fmt.Errorf("filing: no room for %d blocks", need)
+	}
+	for b := 0; b < need; b++ {
+		lo := b * v.blockSize
+		hi := lo + v.blockSize
+		if hi > len(img) {
+			hi = len(img)
+		}
+		if err := v.disk.Seek(start + b); err != nil {
+			return err
+		}
+		if _, err := v.disk.Write(img[lo:hi]); err != nil {
+			return err
+		}
+	}
+	v.dir[token] = diskExtent{start: start, blocks: need, length: len(img)}
+	return v.flushDir()
+}
+
+// Get reads the image stored under token.
+func (v *DiskVolume) Get(token uint64) ([]byte, error) {
+	e, ok := v.dir[token]
+	if !ok {
+		return nil, ErrNoSuchFile
+	}
+	out := make([]byte, 0, e.length)
+	buf := make([]byte, v.blockSize)
+	for b := 0; b < e.blocks; b++ {
+		if err := v.disk.Seek(e.start + b); err != nil {
+			return nil, err
+		}
+		n, err := v.disk.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, buf[:n]...)
+	}
+	return out[:e.length], nil
+}
+
+// Delete removes an image from the volume.
+func (v *DiskVolume) Delete(token uint64) error {
+	if _, ok := v.dir[token]; !ok {
+		return ErrNoSuchFile
+	}
+	delete(v.dir, token)
+	return v.flushDir()
+}
+
+// Tokens lists the stored images.
+func (v *DiskVolume) Tokens() []uint64 {
+	out := make([]uint64, 0, len(v.dir))
+	for t := range v.dir {
+		out = append(out, t)
+	}
+	return out
+}
+
+// findRun locates a contiguous free run of n blocks (block 0 is the
+// directory).
+func (v *DiskVolume) findRun(n int) (int, bool) {
+	used := make([]bool, v.blocks)
+	used[0] = true
+	for _, e := range v.dir {
+		for b := 0; b < e.blocks; b++ {
+			if e.start+b < v.blocks {
+				used[e.start+b] = true
+			}
+		}
+	}
+	run := 0
+	for b := 1; b < v.blocks; b++ {
+		if used[b] {
+			run = 0
+			continue
+		}
+		run++
+		if run == n {
+			return b - n + 1, true
+		}
+	}
+	return 0, false
+}
+
+// flushDir mirrors the directory into block 0.
+func (v *DiskVolume) flushDir() error {
+	buf := make([]byte, v.blockSize)
+	binary.LittleEndian.PutUint32(buf, uint32(len(v.dir)))
+	off := 4
+	for tok, e := range v.dir {
+		if off+dirEntrySize > len(buf) {
+			return fmt.Errorf("filing: directory overflow")
+		}
+		binary.LittleEndian.PutUint64(buf[off:], tok)
+		binary.LittleEndian.PutUint32(buf[off+8:], uint32(e.start))
+		binary.LittleEndian.PutUint32(buf[off+12:], uint32(e.blocks))
+		binary.LittleEndian.PutUint32(buf[off+16:], uint32(e.length))
+		off += dirEntrySize
+	}
+	if err := v.disk.Seek(0); err != nil {
+		return err
+	}
+	_, err := v.disk.Write(buf)
+	return err
+}
+
+// MountDiskVolume re-reads the directory from block 0, recovering a
+// volume written by an earlier DiskVolume over the same device — the
+// persistence story: the images outlive the Store that wrote them.
+func MountDiskVolume(d *iosys.Disk, blocks, blockSize int) (*DiskVolume, error) {
+	v, err := NewDiskVolume(d, blocks, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Seek(0); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, blockSize)
+	if _, err := d.Read(buf); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if n > v.maxEntries() {
+		return nil, fmt.Errorf("filing: directory claims %d entries", n)
+	}
+	off := 4
+	for i := 0; i < n; i++ {
+		tok := binary.LittleEndian.Uint64(buf[off:])
+		v.dir[tok] = diskExtent{
+			start:  int(binary.LittleEndian.Uint32(buf[off+8:])),
+			blocks: int(binary.LittleEndian.Uint32(buf[off+12:])),
+			length: int(binary.LittleEndian.Uint32(buf[off+16:])),
+		}
+		off += dirEntrySize
+	}
+	return v, nil
+}
+
+// AttachVolume copies every image in the Store onto the volume, and
+// LoadVolume the reverse: the bridge between the live filing store and
+// its persistent home.
+func (s *Store) AttachVolume(v *DiskVolume) error {
+	for tok, img := range s.files {
+		if err := v.Put(tok, img); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadVolume imports every image on the volume into the Store,
+// preserving tokens. Images already present are an error (tokens are
+// unique identities).
+func (s *Store) LoadVolume(v *DiskVolume) error {
+	maxTok := s.next
+	for _, tok := range v.Tokens() {
+		if _, dup := s.files[tok]; dup {
+			return fmt.Errorf("filing: token %d already live", tok)
+		}
+		img, err := v.Get(tok)
+		if err != nil {
+			return err
+		}
+		s.files[tok] = img
+		if tok >= maxTok {
+			maxTok = tok + 1
+		}
+	}
+	s.next = maxTok
+	return nil
+}

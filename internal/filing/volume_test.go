@@ -1,0 +1,162 @@
+package filing
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/iosys"
+	"repro/internal/obj"
+)
+
+func newVolume(t *testing.T) (*iosys.Disk, *DiskVolume) {
+	t.Helper()
+	d := iosys.NewDisk(64, 256)
+	v, err := NewDiskVolume(d, 64, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, v
+}
+
+func TestVolumePutGetDelete(t *testing.T) {
+	_, v := newVolume(t)
+	img := []byte("an object image spanning a couple of blocks, padded out to make sure it is longer than one 256-byte block would be if it were short... so pad pad pad pad pad pad pad pad pad pad pad pad pad pad pad pad pad pad pad pad pad pad pad pad pad pad pad pad pad pad pad")
+	if err := v.Put(7, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(img) {
+		t.Fatalf("round trip: %d vs %d bytes", len(got), len(img))
+	}
+	if err := v.Put(7, img); err == nil {
+		t.Fatal("duplicate token accepted")
+	}
+	if err := v.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Get(7); !errors.Is(err, ErrNoSuchFile) {
+		t.Fatalf("get after delete: %v", err)
+	}
+	if err := v.Delete(7); !errors.Is(err, ErrNoSuchFile) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestVolumeSpaceReuse(t *testing.T) {
+	_, v := newVolume(t)
+	big := make([]byte, 256*40) // most of the 63 data blocks
+	if err := v.Put(1, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Put(2, big); err == nil {
+		t.Fatal("overcommitted volume accepted image")
+	}
+	if err := v.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Put(2, big); err != nil {
+		t.Fatalf("freed space not reused: %v", err)
+	}
+}
+
+func TestVolumeMountRecoversDirectory(t *testing.T) {
+	d, v := newVolume(t)
+	if err := v.Put(3, []byte("persist me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Put(9, []byte("me too")); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh mount over the same device sees both images.
+	m, err := MountDiskVolume(d, 64, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tokens()) != 2 {
+		t.Fatalf("Tokens = %v", m.Tokens())
+	}
+	got, err := m.Get(3)
+	if err != nil || string(got) != "persist me" {
+		t.Fatalf("Get(3) = %q, %v", got, err)
+	}
+}
+
+func TestStoreVolumeBridge(t *testing.T) {
+	// Passivate into a store, flush to disk, reload into a *fresh*
+	// store over a *fresh* system, activate: the full persistence loop.
+	fx := setup(t)
+	orig := fx.obj(t, 16, 0)
+	if f := fx.tab.WriteBytes(orig, 0, []byte("durable contents")); f != nil {
+		t.Fatal(f)
+	}
+	tok, err := fx.store.Passivate(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, v := newVolume(t)
+	if err := fx.store.AttachVolume(v); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Reboot": new system, new store, mounted volume.
+	fx2 := setup(t)
+	v2, err := MountDiskVolume(d, 64, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fx2.store.LoadVolume(v2); err != nil {
+		t.Fatal(err)
+	}
+	back, err := fx2.store.Activate(tok, fx2.heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, f := fx2.tab.ReadBytes(back, 0, 16)
+	if f != nil || string(got) != "durable contents" {
+		t.Fatalf("after reboot: %q, %v", got, f)
+	}
+	// Checksums still guard the device path: corrupt a data block and
+	// the activation must refuse.
+	if err := d.Seek(v2.dir[tok].start); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	fx3 := setup(t)
+	v3, err := MountDiskVolume(d, 64, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fx3.store.LoadVolume(v3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fx3.store.Activate(tok, fx3.heap); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt device image activated: %v", err)
+	}
+	_ = obj.NilAD
+}
+
+func TestLoadVolumeRefusesDuplicates(t *testing.T) {
+	fx := setup(t)
+	ad := fx.obj(t, 4, 0)
+	tok, _ := fx.store.Passivate(ad)
+	_, v := newVolume(t)
+	if err := fx.store.AttachVolume(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.store.LoadVolume(v); err == nil {
+		t.Fatal("duplicate token load accepted")
+	}
+	_ = tok
+}
+
+func TestVolumeTooSmall(t *testing.T) {
+	d := iosys.NewDisk(1, 256)
+	if _, err := NewDiskVolume(d, 1, 256); err == nil {
+		t.Fatal("1-block volume accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package gc
+
+import (
+	"testing"
+
+	"repro/internal/obj"
+	"repro/internal/port"
+)
+
+// TestLostProcessRecovery reproduces the exact release-1 use of the
+// destruction filter (§8.2): "The first release of iMAX uses this
+// facility only to recover lost process objects." A process manager
+// labels its processes with a managed-process TDO; when a user drops the
+// last capability for a process, the collector delivers the process
+// object to the manager's recovery port instead of reclaiming it, so the
+// manager can account for it (and, in a real system, unwind its
+// resources).
+func TestLostProcessRecovery(t *testing.T) {
+	fx := setup(t)
+	tdo, f := fx.tdos.Define("managed_process", obj.LevelGlobal, obj.NilIndex)
+	if f != nil {
+		t.Fatal(f)
+	}
+	fx.tab.StoreAD(fx.root, 0, tdo)
+	recovery, f := fx.ports.Create(fx.heap, 16, port.FIFO)
+	if f != nil {
+		t.Fatal(f)
+	}
+	fx.tab.StoreAD(fx.root, 1, recovery)
+	if f := fx.tdos.ArmDestructionFilter(tdo, recovery); f != nil {
+		t.Fatal(f)
+	}
+
+	// The manager creates process objects labelled with its TDO: the
+	// user-type label rides on the hardware process type (labels and
+	// hardware types are orthogonal, §7.2).
+	var lost []obj.AD
+	for i := 0; i < 5; i++ {
+		p, f := fx.tdos.CreateInstance(tdo, obj.CreateSpec{
+			Type:        obj.TypeProcess,
+			DataLen:     28,
+			AccessSlots: 8,
+		})
+		if f != nil {
+			t.Fatal(f)
+		}
+		if typ, _ := fx.tab.TypeOf(p); typ != obj.TypeProcess {
+			t.Fatalf("labelled process has hardware type %v", typ)
+		}
+		lost = append(lost, p) // and then the only capability is dropped
+	}
+	fx.collect(t)
+
+	recovered := 0
+	for {
+		msg, blocked, _, f := fx.ports.Receive(recovery, obj.NilAD)
+		if f != nil {
+			t.Fatal(f)
+		}
+		if blocked {
+			break
+		}
+		if typ, _ := fx.tab.TypeOf(msg); typ != obj.TypeProcess {
+			t.Fatalf("recovered a %v", typ)
+		}
+		recovered++
+	}
+	if recovered != len(lost) {
+		t.Fatalf("recovered %d of %d lost processes", recovered, len(lost))
+	}
+}

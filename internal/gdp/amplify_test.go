@@ -1,0 +1,109 @@
+package gdp
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/process"
+	"repro/internal/typedef"
+)
+
+// TestAmplifyInstruction runs the sealed-object pattern entirely in the
+// VM: a process holding a read-only capability and the type manager's TDO
+// amplifies the capability with the AMPLIFY instruction, then writes
+// through it.
+func TestAmplifyInstruction(t *testing.T) {
+	s := newSystem(t, 1)
+	tdo, f := s.TDOs.Define("sealed", obj.LevelGlobal, obj.NilIndex)
+	if f != nil {
+		t.Fatal(f)
+	}
+	inst, f := s.TDOs.CreateInstance(tdo, obj.CreateSpec{DataLen: 8})
+	if f != nil {
+		t.Fatal(f)
+	}
+	weak := inst.Restrict(obj.RightWrite | obj.RightDelete)
+
+	dom := mustDomain(t, s, []isa.Instr{
+		isa.Amplify(1, 2, uint32(obj.RightWrite)), // a1 ← amplified via TDO in a2
+		isa.MovI(0, 77),
+		isa.Store(0, 1, 0), // write through the amplified capability
+		isa.Halt(),
+	})
+	p, f := s.Spawn(dom, SpawnSpec{AArgs: [4]obj.AD{obj.NilAD, weak, tdo}})
+	if f != nil {
+		t.Fatal(f)
+	}
+	if _, f := s.Run(0); f != nil {
+		t.Fatal(f)
+	}
+	mustState(t, s, p, process.StateTerminated)
+	if v, _ := s.Table.ReadDWord(inst, 0); v != 77 {
+		t.Fatalf("write through amplified AD = %d", v)
+	}
+}
+
+// TestAmplifyInstructionRefusals: without the TDO's amplify right, or via
+// the wrong TDO, the instruction faults the process.
+func TestAmplifyInstructionRefusals(t *testing.T) {
+	s := newSystem(t, 1)
+	tape, _ := s.TDOs.Define("tape", obj.LevelGlobal, obj.NilIndex)
+	disk, _ := s.TDOs.Define("disk", obj.LevelGlobal, obj.NilIndex)
+	inst, _ := s.TDOs.CreateInstance(tape, obj.CreateSpec{DataLen: 8})
+	weak := inst.Restrict(obj.RightWrite)
+
+	run := func(tdoCap obj.AD) obj.FaultCode {
+		dom := mustDomain(t, s, []isa.Instr{
+			isa.Amplify(1, 2, uint32(obj.RightWrite)),
+			isa.Halt(),
+		})
+		p, f := s.Spawn(dom, SpawnSpec{AArgs: [4]obj.AD{obj.NilAD, weak, tdoCap}})
+		if f != nil {
+			t.Fatal(f)
+		}
+		if _, f := s.Run(0); f != nil {
+			t.Fatal(f)
+		}
+		c, _ := s.Procs.FaultCode(p)
+		return c
+	}
+	if c := run(tape.Restrict(typedef.RightAmplify)); c != obj.FaultRights {
+		t.Fatalf("amplify without right: %v", c)
+	}
+	if c := run(disk); c != obj.FaultType {
+		t.Fatalf("amplify via wrong TDO: %v", c)
+	}
+}
+
+// TestIsTypeInstruction implements the dynamically-checked port receive
+// of §4 in VM code: receive, test the type, accept or reject.
+func TestIsTypeInstruction(t *testing.T) {
+	s := newSystem(t, 1)
+	tdo, _ := s.TDOs.Define("wanted", obj.LevelGlobal, obj.NilIndex)
+	good, _ := s.TDOs.CreateInstance(tdo, obj.CreateSpec{DataLen: 4})
+	bad, _ := s.SROs.Create(s.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 4})
+	out, _ := s.SROs.Create(s.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+
+	dom := mustDomain(t, s, []isa.Instr{
+		isa.IsType(0, 1, 2), // r0 ← (a1 is instance of TDO a2)
+		isa.Store(0, 3, 0),
+		isa.Halt(),
+	})
+	for i, tc := range []struct {
+		msg  obj.AD
+		want uint32
+	}{{good, 1}, {bad, 0}} {
+		p, f := s.Spawn(dom, SpawnSpec{AArgs: [4]obj.AD{obj.NilAD, tc.msg, tdo, out}})
+		if f != nil {
+			t.Fatal(f)
+		}
+		if _, f := s.Run(0); f != nil {
+			t.Fatal(f)
+		}
+		mustState(t, s, p, process.StateTerminated)
+		if v, _ := s.Table.ReadDWord(out, 0); v != tc.want {
+			t.Fatalf("case %d: istype = %d, want %d", i, v, tc.want)
+		}
+	}
+}

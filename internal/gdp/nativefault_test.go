@@ -1,0 +1,93 @@
+package gdp
+
+import (
+	"testing"
+
+	"repro/internal/obj"
+	"repro/internal/port"
+	"repro/internal/process"
+	"repro/internal/vtime"
+)
+
+// TestNativeBodyFaultDelivery: a native process whose body raises a fault
+// goes through the same delivery machinery as a VM process — recorded
+// code, faulted state, message at the fault port.
+func TestNativeBodyFaultDelivery(t *testing.T) {
+	s := newSystem(t, 1)
+	fport, _ := s.Ports.Create(s.Heap, 4, port.FIFO)
+	body := NativeBodyFunc(func(sys *System, proc obj.AD) (vtime.Cycles, BodyStatus, *obj.Fault) {
+		return 50, BodyYield, obj.Faultf(obj.FaultStorageClaim, obj.NilAD, "native trouble")
+	})
+	p, f := s.SpawnNative(body, SpawnSpec{FaultPort: fport})
+	if f != nil {
+		t.Fatal(f)
+	}
+	if _, f := s.Run(0); f != nil {
+		t.Fatal(f)
+	}
+	mustState(t, s, p, process.StateFaulted)
+	if c, _ := s.Procs.FaultCode(p); c != obj.FaultStorageClaim {
+		t.Fatalf("fault code = %v", c)
+	}
+	msg, ok, f := s.ReceiveMessage(fport)
+	if f != nil || !ok || msg.Index != p.Index {
+		t.Fatalf("fault port: %v %v %v", msg, ok, f)
+	}
+}
+
+// TestNativeBodyContinueRunsWithinSlice: a BodyContinue native process
+// keeps the processor until its slice expires, then requeues like any
+// preempted process.
+func TestNativeBodyContinueRespectsSlice(t *testing.T) {
+	s := newSystem(t, 1)
+	steps := 0
+	body := NativeBodyFunc(func(sys *System, proc obj.AD) (vtime.Cycles, BodyStatus, *obj.Fault) {
+		steps++
+		if steps >= 10 {
+			return 100, BodyDone, nil
+		}
+		return 400, BodyContinue, nil
+	})
+	p, f := s.SpawnNative(body, SpawnSpec{TimeSlice: 1_000})
+	if f != nil {
+		t.Fatal(f)
+	}
+	if _, f := s.Run(0); f != nil {
+		t.Fatal(f)
+	}
+	mustState(t, s, p, process.StateTerminated)
+	if steps != 10 {
+		t.Fatalf("body ran %d times", steps)
+	}
+	// With a 1000-cycle slice and 400-cycle steps, preemptions happened.
+	if s.Stats().Preemptions == 0 {
+		t.Fatal("no preemptions for a BodyContinue process")
+	}
+	// And it was dispatched more than once (requeued after preemption).
+	if s.Stats().Dispatches < 2 {
+		t.Fatalf("dispatches = %d", s.Stats().Dispatches)
+	}
+}
+
+// TestFaultPortFullTerminatesVictim: when the fault port cannot accept the
+// faulting process, it terminates rather than wedging the processor.
+func TestFaultPortFullTerminatesVictim(t *testing.T) {
+	s := newSystem(t, 1)
+	fport, _ := s.Ports.Create(s.Heap, 1, port.FIFO)
+	// Fill the fault port.
+	filler, _ := s.SROs.Create(s.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 4})
+	if ok, f := s.SendMessage(fport, filler, 0); f != nil || !ok {
+		t.Fatal(f)
+	}
+	body := NativeBodyFunc(func(sys *System, proc obj.AD) (vtime.Cycles, BodyStatus, *obj.Fault) {
+		return 10, BodyYield, obj.Faultf(obj.FaultOddity, obj.NilAD, "boom")
+	})
+	p, f := s.SpawnNative(body, SpawnSpec{FaultPort: fport})
+	if f != nil {
+		t.Fatal(f)
+	}
+	if _, f := s.Run(0); f != nil {
+		t.Fatal(f)
+	}
+	mustState(t, s, p, process.StateTerminated)
+}

@@ -1,0 +1,113 @@
+package gdp
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/process"
+)
+
+// TestProcessorOfflineMidRun exercises §3's degraded operation: a
+// processor leaves the mix mid-workload, its bound process migrates, and
+// every worker still completes with correct results on the survivors.
+func TestProcessorOfflineMidRun(t *testing.T) {
+	s := newSystem(t, 4)
+	out, _ := s.SROs.Create(s.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 64})
+	var procs []obj.AD
+	for w := uint32(0); w < 8; w++ {
+		dom := mustDomain(t, s, []isa.Instr{
+			isa.MovI(1, 3_000),
+			isa.MovI(0, 0),
+			isa.Add(0, 0, 1),
+			isa.AddI(1, 1, ^uint32(0)),
+			isa.BrNZ(1, 2),
+			isa.Store(0, 0, w*4),
+			isa.Halt(),
+		})
+		p, f := s.Spawn(dom, SpawnSpec{TimeSlice: 2_000, AArgs: [4]obj.AD{out}})
+		if f != nil {
+			t.Fatal(f)
+		}
+		procs = append(procs, p)
+	}
+	// Let the system warm up, then pull two processors.
+	for i := 0; i < 10; i++ {
+		if _, f := s.Step(2_000); f != nil {
+			t.Fatal(f)
+		}
+	}
+	if f := s.SetProcessorOnline(1, false); f != nil {
+		t.Fatal(f)
+	}
+	if f := s.SetProcessorOnline(3, false); f != nil {
+		t.Fatal(f)
+	}
+	if s.OnlineProcessors() != 2 {
+		t.Fatalf("OnlineProcessors = %d", s.OnlineProcessors())
+	}
+	if _, f := s.Run(0); f != nil {
+		t.Fatal(f)
+	}
+	for i, p := range procs {
+		if st, _ := s.Procs.StateOf(p); st != process.StateTerminated {
+			t.Fatalf("worker %d stranded by offline processor (state %v)", i, st)
+		}
+	}
+	for w := uint32(0); w < 8; w++ {
+		if v, _ := s.Table.ReadDWord(out, w*4); v != 4501500 {
+			t.Fatalf("worker %d result = %d", w, v)
+		}
+	}
+	// The offline CPUs dispatched nothing after the cut.
+	if !s.CPUs[0].Online() || s.CPUs[1].Online() {
+		t.Fatal("online flags wrong")
+	}
+}
+
+func TestProcessorOnlineAgain(t *testing.T) {
+	s := newSystem(t, 2)
+	if f := s.SetProcessorOnline(1, false); f != nil {
+		t.Fatal(f)
+	}
+	if f := s.SetProcessorOnline(1, true); f != nil {
+		t.Fatal(f)
+	}
+	// Idempotent transitions.
+	if f := s.SetProcessorOnline(1, true); f != nil {
+		t.Fatal(f)
+	}
+	if s.OnlineProcessors() != 2 {
+		t.Fatalf("OnlineProcessors = %d", s.OnlineProcessors())
+	}
+	dom := mustDomain(t, s, []isa.Instr{isa.Halt()})
+	p, _ := s.Spawn(dom, SpawnSpec{})
+	if _, f := s.Run(0); f != nil {
+		t.Fatal(f)
+	}
+	mustState(t, s, p, process.StateTerminated)
+	if f := s.SetProcessorOnline(9, false); !obj.IsFault(f, obj.FaultBounds) {
+		t.Fatalf("bad id: %v", f)
+	}
+}
+
+func TestAllProcessorsOfflineParksWork(t *testing.T) {
+	s := newSystem(t, 1)
+	dom := mustDomain(t, s, []isa.Instr{isa.Halt()})
+	p, _ := s.Spawn(dom, SpawnSpec{})
+	if f := s.SetProcessorOnline(0, false); f != nil {
+		t.Fatal(f)
+	}
+	if _, f := s.Run(0); f != nil {
+		t.Fatal(f)
+	}
+	// Nothing ran; the process still waits at the dispatch port.
+	mustState(t, s, p, process.StateReady)
+	if f := s.SetProcessorOnline(0, true); f != nil {
+		t.Fatal(f)
+	}
+	if _, f := s.Run(0); f != nil {
+		t.Fatal(f)
+	}
+	mustState(t, s, p, process.StateTerminated)
+}

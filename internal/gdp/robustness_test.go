@@ -1,0 +1,160 @@
+package gdp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/port"
+	"repro/internal/process"
+)
+
+// TestRandomProgramsNeverWedgeTheMachine runs arbitrary instruction
+// sequences: processes may fault or terminate, but the system itself must
+// never return a system-level fault, panic, or fail to settle. This is
+// the confinement property of §7.1 exercised adversarially — whatever a
+// program does, the damage stays inside its own objects.
+func TestRandomProgramsNeverWedgeTheMachine(t *testing.T) {
+	rng := rand.New(rand.NewSource(432))
+	const (
+		programs = 120
+		maxLen   = 24
+	)
+	for trial := 0; trial < programs; trial++ {
+		s := newSystem(t, 2)
+		prt, f := s.Ports.Create(s.Heap, 2, port.FIFO)
+		if f != nil {
+			t.Fatal(f)
+		}
+		target, f := s.SROs.Create(s.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 32, AccessSlots: 2})
+		if f != nil {
+			t.Fatal(f)
+		}
+		n := 1 + rng.Intn(maxLen)
+		prog := make([]isa.Instr, 0, n+1)
+		for i := 0; i < n; i++ {
+			prog = append(prog, randomInstr(rng, uint32(n)))
+		}
+		prog = append(prog, isa.Halt())
+		dom := mustDomain(t, s, prog)
+		p, f := s.Spawn(dom, SpawnSpec{
+			TimeSlice: 1_000,
+			AArgs:     [4]obj.AD{s.Heap, target, prt},
+		})
+		if f != nil {
+			t.Fatal(f)
+		}
+		// A bounded run: random loops may spin, so cap virtual time
+		// and accept a still-running process; what we must not see is
+		// a driver fault.
+		if _, f := s.Run(2_000_000); f != nil && f.Code != obj.FaultTimeout {
+			t.Fatalf("trial %d: system fault %v (program %v)", trial, f, prog)
+		}
+		st, f := s.Procs.StateOf(p)
+		if f != nil {
+			t.Fatalf("trial %d: process unreadable: %v", trial, f)
+		}
+		switch st {
+		case process.StateTerminated, process.StateFaulted,
+			process.StateBlocked, process.StateReady, process.StateRunning:
+		default:
+			t.Fatalf("trial %d: impossible state %v", trial, st)
+		}
+	}
+}
+
+// randomInstr builds an arbitrary instruction with operands biased toward
+// validity but frequently out of range.
+func randomInstr(rng *rand.Rand, progLen uint32) isa.Instr {
+	ops := []isa.Op{
+		isa.OpNop, isa.OpMovI, isa.OpMov, isa.OpAdd, isa.OpAddI, isa.OpSub,
+		isa.OpMul, isa.OpBr, isa.OpBrZ, isa.OpBrNZ, isa.OpBrLT,
+		isa.OpLoad, isa.OpStore, isa.OpLoadA, isa.OpStoreA, isa.OpMovA,
+		isa.OpCreate, isa.OpSend, isa.OpRecv, isa.OpCSend, isa.OpCRecv,
+		isa.OpCall, isa.OpCallLocal, isa.OpRet, isa.OpTypeOf, isa.OpFault,
+	}
+	in := isa.Instr{Op: ops[rng.Intn(len(ops))]}
+	in.A = uint8(rng.Intn(12)) // often beyond the register files
+	in.B = uint8(rng.Intn(12))
+	switch rng.Intn(4) {
+	case 0:
+		in.C = rng.Uint32() // wild immediate
+	case 1:
+		in.C = uint32(rng.Intn(int(progLen) + 4)) // near-valid branch target
+	default:
+		in.C = uint32(rng.Intn(8))
+	}
+	return in
+}
+
+// TestDeterministicReplay pins the simulator's determinism: two identical
+// systems running the same multi-process workload must agree on every
+// observable (clocks, stats, final memory contents).
+func TestDeterministicReplay(t *testing.T) {
+	build := func() (*System, obj.AD) {
+		s, err := New(Config{Processors: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, f := s.SROs.Create(s.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 64})
+		if f != nil {
+			t.Fatal(f)
+		}
+		prt, f := s.Ports.Create(s.Heap, 3, port.FIFO)
+		if f != nil {
+			t.Fatal(f)
+		}
+		producer := mustDomain(t, s, []isa.Instr{
+			isa.MovI(4, 30),
+			isa.MovI(2, 16),
+			isa.MovI(3, 0),
+			isa.Create(1, 0, 2),
+			isa.Store(4, 1, 0),
+			isa.MovI(5, 0),
+			isa.Send(1, 2, 5),
+			isa.AddI(4, 4, ^uint32(0)),
+			isa.BrNZ(4, 3),
+			isa.Halt(),
+		})
+		consumer := mustDomain(t, s, []isa.Instr{
+			isa.MovI(4, 30),
+			isa.Recv(1, 2),
+			isa.Load(0, 1, 0),
+			isa.Add(5, 5, 0),
+			isa.AddI(4, 4, ^uint32(0)),
+			isa.BrNZ(4, 1),
+			isa.Store(5, 3, 0),
+			isa.Halt(),
+		})
+		if _, f := s.Spawn(producer, SpawnSpec{TimeSlice: 1_500, AArgs: [4]obj.AD{s.Heap, obj.NilAD, prt}}); f != nil {
+			t.Fatal(f)
+		}
+		if _, f := s.Spawn(consumer, SpawnSpec{TimeSlice: 1_500, AArgs: [4]obj.AD{obj.NilAD, obj.NilAD, prt, out}}); f != nil {
+			t.Fatal(f)
+		}
+		return s, out
+	}
+	s1, out1 := build()
+	s2, out2 := build()
+	if _, f := s1.Run(0); f != nil {
+		t.Fatal(f)
+	}
+	if _, f := s2.Run(0); f != nil {
+		t.Fatal(f)
+	}
+	if s1.Now() != s2.Now() {
+		t.Fatalf("clocks diverged: %v vs %v", s1.Now(), s2.Now())
+	}
+	if s1.Stats() != s2.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", s1.Stats(), s2.Stats())
+	}
+	v1, _ := s1.Table.ReadDWord(out1, 0)
+	v2, _ := s2.Table.ReadDWord(out2, 0)
+	if v1 != v2 {
+		t.Fatalf("results diverged: %d vs %d", v1, v2)
+	}
+	if v1 != 465 { // sum of 30..1
+		t.Fatalf("result = %d, want 465", v1)
+	}
+}

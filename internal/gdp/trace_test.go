@@ -1,0 +1,71 @@
+package gdp
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+func TestTraceObservesEveryInstruction(t *testing.T) {
+	s := newSystem(t, 1)
+	var events []TraceEvent
+	s.Trace = func(cpu int, proc obj.AD, ev TraceEvent) {
+		if cpu != 0 {
+			t.Errorf("event from cpu %d", cpu)
+		}
+		events = append(events, ev)
+	}
+	dom := mustDomain(t, s, []isa.Instr{
+		isa.MovI(0, 1),
+		isa.MovI(1, 2),
+		isa.Add(2, 0, 1),
+		isa.Halt(),
+	})
+	if _, f := s.Spawn(dom, SpawnSpec{}); f != nil {
+		t.Fatal(f)
+	}
+	if _, f := s.Run(0); f != nil {
+		t.Fatal(f)
+	}
+	if len(events) != 4 {
+		t.Fatalf("traced %d events, want 4", len(events))
+	}
+	if events[0].Instr.Op != isa.OpMovI || events[0].IP != 0 {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+	if events[3].Instr.Op != isa.OpHalt {
+		t.Fatalf("event 3 = %+v", events[3])
+	}
+	for _, ev := range events {
+		if ev.Cost == 0 {
+			t.Fatal("event with zero cost")
+		}
+		if ev.Fault != nil {
+			t.Fatalf("unexpected fault in trace: %v", ev.Fault)
+		}
+	}
+}
+
+func TestTraceSeesFaults(t *testing.T) {
+	s := newSystem(t, 1)
+	var faulted *obj.Fault
+	s.Trace = func(cpu int, proc obj.AD, ev TraceEvent) {
+		if ev.Fault != nil {
+			faulted = ev.Fault
+		}
+	}
+	dom := mustDomain(t, s, []isa.Instr{
+		isa.FaultInject(uint32(obj.FaultRights)),
+		isa.Halt(),
+	})
+	if _, f := s.Spawn(dom, SpawnSpec{}); f != nil {
+		t.Fatal(f)
+	}
+	if _, f := s.Run(0); f != nil {
+		t.Fatal(f)
+	}
+	if faulted == nil || faulted.Code != obj.FaultRights {
+		t.Fatalf("trace missed the fault: %v", faulted)
+	}
+}

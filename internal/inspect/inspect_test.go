@@ -1,0 +1,97 @@
+package inspect
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obj"
+	"repro/internal/sro"
+)
+
+func setup(t *testing.T) (*obj.Table, *sro.Manager, obj.AD) {
+	t.Helper()
+	tab := obj.NewTable(1 << 20)
+	s := sro.NewManager(tab)
+	heap, f := s.NewGlobalHeap(0)
+	if f != nil {
+		t.Fatal(f)
+	}
+	return tab, s, heap
+}
+
+func TestSnapshotCounts(t *testing.T) {
+	tab, s, heap := setup(t)
+	if f := tab.Pin(heap); f != nil {
+		t.Fatal(f)
+	}
+	root, _ := s.Create(heap, obj.CreateSpec{Type: obj.TypeGeneric, AccessSlots: 4, Pinned: true})
+	kept, _ := s.Create(heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 100})
+	if f := tab.StoreAD(root, 0, kept); f != nil {
+		t.Fatal(f)
+	}
+	// Two unreachable objects.
+	s.Create(heap, obj.CreateSpec{Type: obj.TypePort, DataLen: 32, AccessSlots: 8})
+	s.Create(heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+
+	snap := Take(tab)
+	if snap.Live != 5 { // heap SRO + root + kept + 2 strays
+		t.Fatalf("Live = %d", snap.Live)
+	}
+	if snap.Pinned != 2 {
+		t.Fatalf("Pinned = %d", snap.Pinned)
+	}
+	if snap.Reachable != 3 { // heap, root, kept
+		t.Fatalf("Reachable = %d", snap.Reachable)
+	}
+	var genCount, portCount int
+	for _, tc := range snap.ByType {
+		switch tc.Type {
+		case obj.TypeGeneric:
+			genCount = tc.Count
+		case obj.TypePort:
+			portCount = tc.Count
+		}
+	}
+	if genCount != 3 || portCount != 1 {
+		t.Fatalf("histogram: generic=%d port=%d", genCount, portCount)
+	}
+	var buf strings.Builder
+	snap.Write(&buf)
+	out := buf.String()
+	for _, want := range []string{"5 live", "collectible", "generic", "port"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotSwappedAccounting(t *testing.T) {
+	tab, s, heap := setup(t)
+	ad, _ := s.Create(heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 64})
+	if f := tab.SwapOut(ad.Index, 1); f != nil {
+		t.Fatal(f)
+	}
+	snap := Take(tab)
+	if snap.SwappedOut != 1 {
+		t.Fatalf("SwappedOut = %d", snap.SwappedOut)
+	}
+}
+
+func TestGraphListing(t *testing.T) {
+	tab, s, heap := setup(t)
+	root, _ := s.Create(heap, obj.CreateSpec{Type: obj.TypeGeneric, AccessSlots: 2})
+	leaf, _ := s.Create(heap, obj.CreateSpec{Type: obj.TypePort, DataLen: 32, AccessSlots: 8})
+	tab.StoreAD(root, 0, leaf)
+	var buf strings.Builder
+	Graph(&buf, tab, root, 3)
+	out := buf.String()
+	if !strings.Contains(out, "generic") || !strings.Contains(out, "port") {
+		t.Fatalf("graph listing incomplete:\n%s", out)
+	}
+	// Depth limiting: at depth 0 only the root prints.
+	buf.Reset()
+	Graph(&buf, tab, root, 0)
+	if strings.Contains(buf.String(), "port") {
+		t.Fatal("depth limit ignored")
+	}
+}

@@ -1,0 +1,260 @@
+package iosys
+
+import (
+	"testing"
+
+	"repro/internal/gdp"
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/process"
+)
+
+func newSys(t *testing.T) *gdp.System {
+	t.Helper()
+	sys, err := gdp.New(gdp.Config{Processors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// runProgram spawns and runs prog with the given access args, failing on
+// any process fault.
+func runProgram(t *testing.T, sys *gdp.System, prog []isa.Instr, aargs [4]obj.AD) obj.AD {
+	t.Helper()
+	code, f := sys.Domains.CreateCode(sys.Heap, prog)
+	if f != nil {
+		t.Fatal(f)
+	}
+	dom, f := sys.Domains.Create(sys.Heap, code, []uint32{0})
+	if f != nil {
+		t.Fatal(f)
+	}
+	p, f := sys.Spawn(dom, gdp.SpawnSpec{AArgs: aargs})
+	if f != nil {
+		t.Fatal(f)
+	}
+	if _, f := sys.Run(100_000_000); f != nil {
+		t.Fatal(f)
+	}
+	if st, _ := sys.Procs.StateOf(p); st != process.StateTerminated {
+		c, _ := sys.Procs.FaultCode(p)
+		t.Fatalf("process state %v (fault %v)", st, c)
+	}
+	return p
+}
+
+func TestConsoleDeviceGoSide(t *testing.T) {
+	c := NewConsole()
+	n, err := c.Write([]byte("hello"))
+	if err != nil || n != 5 {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if c.Output() != "hello" {
+		t.Fatalf("Output = %q", c.Output())
+	}
+	c.FeedInput([]byte("in"))
+	buf := make([]byte, 8)
+	n, err = c.Read(buf)
+	if err != nil || n != 2 || string(buf[:2]) != "in" {
+		t.Fatalf("Read = %d %q %v", n, buf[:n], err)
+	}
+	if c.Status()>>8 != ClassConsole {
+		t.Fatalf("Status = %#x", c.Status())
+	}
+}
+
+func TestDeviceIndependentWriteFromVM(t *testing.T) {
+	// A VM program writes through the device-independent interface; it
+	// neither knows nor cares that the device is a console.
+	sys := newSys(t)
+	console := NewConsole()
+	dev, f := InstallConsole(sys.Domains, sys.Heap, console)
+	if f != nil {
+		t.Fatal(f)
+	}
+	buf, _ := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 16})
+	if f := sys.Table.WriteBytes(buf, 0, []byte("432 says hi!")); f != nil {
+		t.Fatal(f)
+	}
+	runProgram(t, sys, []isa.Instr{
+		isa.MovI(1, 0),          // offset
+		isa.MovI(2, 12),         // length
+		isa.MovA(1, 2),          // a1 ← buffer (arrived in a2)
+		isa.Call(3, EntryWrite), // device domain in a3
+		isa.Halt(),
+	}, [4]obj.AD{obj.NilAD, obj.NilAD, buf, dev})
+	if console.Output() != "432 says hi!" {
+		t.Fatalf("console got %q", console.Output())
+	}
+}
+
+func TestSameProgramDifferentDevices(t *testing.T) {
+	// §6.3's punchline: one program, many devices, no dispatch tables.
+	// The identical code writes to a console, a tape and a disk.
+	for _, tc := range []struct {
+		name    string
+		install func(sys *gdp.System) (obj.AD, func() string)
+	}{
+		{"console", func(sys *gdp.System) (obj.AD, func() string) {
+			c := NewConsole()
+			dev, _ := InstallConsole(sys.Domains, sys.Heap, c)
+			return dev, c.Output
+		}},
+		{"tape", func(sys *gdp.System) (obj.AD, func() string) {
+			tp := NewTape(1 << 16)
+			dev, _ := InstallTape(sys.Domains, sys.Heap, tp)
+			return dev, func() string { return string(tp.medium[:4]) }
+		}},
+		{"disk", func(sys *gdp.System) (obj.AD, func() string) {
+			d := NewDisk(16, 256)
+			dev, _ := InstallDisk(sys.Domains, sys.Heap, d)
+			return dev, func() string { return string(d.blocks[0][:4]) }
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := newSys(t)
+			dev, readBack := tc.install(sys)
+			buf, _ := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+			if f := sys.Table.WriteBytes(buf, 0, []byte("data")); f != nil {
+				t.Fatal(f)
+			}
+			runProgram(t, sys, []isa.Instr{
+				isa.MovI(1, 0),
+				isa.MovI(2, 4),
+				isa.MovA(1, 2),
+				isa.Call(3, EntryWrite),
+				isa.Halt(),
+			}, [4]obj.AD{obj.NilAD, obj.NilAD, buf, dev})
+			if got := readBack(); got != "data" {
+				t.Fatalf("%s got %q", tc.name, got)
+			}
+		})
+	}
+}
+
+func TestTapeClassExtensions(t *testing.T) {
+	tp := NewTape(64)
+	if _, err := tp.Write([]byte("record1")); err != nil {
+		t.Fatal(err)
+	}
+	tp.Mark()
+	if _, err := tp.Write([]byte("record2")); err != nil {
+		t.Fatal(err)
+	}
+	tp.Rewind()
+	buf := make([]byte, 32)
+	n, _ := tp.Read(buf)
+	if string(buf[:n]) != "record1" {
+		t.Fatalf("first record = %q", buf[:n])
+	}
+	// The marker stops the read and raises EOF.
+	n, _ = tp.Read(buf)
+	if n != 0 || tp.Status()&FlagEOF == 0 {
+		t.Fatalf("marker not honoured: n=%d status=%#x", n, tp.Status())
+	}
+}
+
+func TestTapeCapacity(t *testing.T) {
+	tp := NewTape(4)
+	n, err := tp.Write([]byte("abcdef"))
+	if err != nil || n != 4 {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if tp.Status()&FlagFull == 0 {
+		t.Fatal("full tape not flagged")
+	}
+	if _, err := tp.Write([]byte("x")); err == nil {
+		t.Fatal("write past capacity accepted")
+	}
+}
+
+func TestDiskSeekFromVM(t *testing.T) {
+	sys := newSys(t)
+	d := NewDisk(8, 64)
+	dev, _ := InstallDisk(sys.Domains, sys.Heap, d)
+	buf, _ := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+	if f := sys.Table.WriteBytes(buf, 0, []byte("blk5")); f != nil {
+		t.Fatal(f)
+	}
+	runProgram(t, sys, []isa.Instr{
+		isa.MovI(1, 5),
+		isa.Call(3, EntryDiskSeek), // device-specific operation
+		isa.MovI(1, 0),
+		isa.MovI(2, 4),
+		isa.MovA(1, 2),
+		isa.Call(3, EntryWrite), // device-independent operation
+		isa.Halt(),
+	}, [4]obj.AD{obj.NilAD, obj.NilAD, buf, dev})
+	if string(d.blocks[5][:4]) != "blk5" {
+		t.Fatalf("block 5 = %q", d.blocks[5][:4])
+	}
+}
+
+func TestDiskSeekOutOfRange(t *testing.T) {
+	d := NewDisk(4, 16)
+	if err := d.Seek(4); err == nil {
+		t.Fatal("seek past end accepted")
+	}
+	if err := d.Seek(-1); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+	if err := d.Seek(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusFromVM(t *testing.T) {
+	sys := newSys(t)
+	c := NewConsole()
+	dev, _ := InstallConsole(sys.Domains, sys.Heap, c)
+	out, _ := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+	runProgram(t, sys, []isa.Instr{
+		isa.Call(3, EntryStatus),
+		isa.Store(0, 2, 0),
+		isa.Halt(),
+	}, [4]obj.AD{obj.NilAD, obj.NilAD, out, dev})
+	v, _ := sys.Table.ReadDWord(out, 0)
+	if v>>8 != ClassConsole || v&FlagReady == 0 {
+		t.Fatalf("status = %#x", v)
+	}
+}
+
+func TestUndefinedEntryFaults(t *testing.T) {
+	// A console has no entry 3; calling it faults the caller, it does
+	// not damage the device.
+	sys := newSys(t)
+	c := NewConsole()
+	dev, _ := InstallConsole(sys.Domains, sys.Heap, c)
+	code, _ := sys.Domains.CreateCode(sys.Heap, []isa.Instr{
+		isa.Call(3, 3),
+		isa.Halt(),
+	})
+	dom, _ := sys.Domains.Create(sys.Heap, code, []uint32{0})
+	p, _ := sys.Spawn(dom, gdp.SpawnSpec{AArgs: [4]obj.AD{obj.NilAD, obj.NilAD, obj.NilAD, dev}})
+	if _, f := sys.Run(10_000_000); f != nil {
+		t.Fatal(f)
+	}
+	if cd, _ := sys.Procs.FaultCode(p); cd != obj.FaultBounds {
+		t.Fatalf("fault code = %v", cd)
+	}
+}
+
+func TestReadFromVM(t *testing.T) {
+	sys := newSys(t)
+	c := NewConsole()
+	c.FeedInput([]byte("keyboard"))
+	dev, _ := InstallConsole(sys.Domains, sys.Heap, c)
+	buf, _ := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 16})
+	runProgram(t, sys, []isa.Instr{
+		isa.MovI(1, 0),
+		isa.MovI(2, 8),
+		isa.MovA(1, 2),
+		isa.Call(3, EntryRead),
+		isa.Halt(),
+	}, [4]obj.AD{obj.NilAD, obj.NilAD, buf, dev})
+	got, _ := sys.Table.ReadBytes(buf, 0, 8)
+	if string(got) != "keyboard" {
+		t.Fatalf("read back %q", got)
+	}
+}

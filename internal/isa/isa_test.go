@@ -1,0 +1,97 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(op uint8, a, b uint8, c uint32) bool {
+		in := Instr{Op: Op(op) % numOps, A: a, B: b, C: c}
+		enc := in.Encode()
+		out, err := Decode(enc[:])
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsBadOpcode(t *testing.T) {
+	var b [InstrSize]byte
+	b[0] = 0xFF
+	if _, err := Decode(b[:]); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+}
+
+func TestDecodeRejectsShortInput(t *testing.T) {
+	if _, err := Decode(make([]byte, 3)); err == nil {
+		t.Error("short input accepted")
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	prog := []Instr{
+		MovI(0, 10),
+		MovI(1, 0),
+		Add(1, 1, 0),
+		AddI(0, 0, ^uint32(0)), // r0--
+		BrNZ(0, 2),
+		Halt(),
+	}
+	img := EncodeProgram(prog)
+	if len(img) != len(prog)*InstrSize {
+		t.Fatalf("image size = %d", len(img))
+	}
+	got, err := DecodeProgram(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(prog) {
+		t.Fatalf("decoded %d instrs", len(got))
+	}
+	for i := range prog {
+		if got[i] != prog[i] {
+			t.Fatalf("instr %d: got %v want %v", i, got[i], prog[i])
+		}
+	}
+}
+
+func TestDecodeProgramRejectsRaggedImage(t *testing.T) {
+	if _, err := DecodeProgram(make([]byte, InstrSize+1)); err == nil {
+		t.Error("ragged image accepted")
+	}
+}
+
+func TestAssemblerFieldPlacement(t *testing.T) {
+	cases := []struct {
+		got  Instr
+		want Instr
+	}{
+		{MovI(3, 99), Instr{Op: OpMovI, A: 3, C: 99}},
+		{Add(1, 2, 3), Instr{Op: OpAdd, A: 1, B: 2, C: 3}},
+		{Load(4, 1, 12), Instr{Op: OpLoad, A: 4, B: 1, C: 12}},
+		{StoreA(2, 3, 5), Instr{Op: OpStoreA, A: 2, B: 3, C: 5}},
+		{Send(1, 2, 3), Instr{Op: OpSend, A: 1, B: 2, C: 3}},
+		{Call(2, 7), Instr{Op: OpCall, B: 2, C: 7}},
+		{BrLT(1, 2, 9), Instr{Op: OpBrLT, A: 1, B: 2, C: 9}},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %+v want %+v", c.got, c.want)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpSend.String() != "send" {
+		t.Errorf("OpSend = %q", OpSend)
+	}
+	if Op(200).String() != "op(200)" {
+		t.Errorf("bad op = %q", Op(200))
+	}
+	if s := MovI(1, 2).String(); s == "" {
+		t.Error("Instr.String empty")
+	}
+}

@@ -1,0 +1,270 @@
+// Package mem models the physical memory of the simulated 432 system: a
+// single homogeneous address space shared by all processors (§3 of the
+// paper: "a tightly coupled environment in which all processors see a single
+// homogeneous memory").
+//
+// Memory is carved into segments of 1 byte to 128 KB (§2). The object layer
+// (internal/obj) maps object descriptors onto segments; this package only
+// knows about raw extents and free-space bookkeeping, which the storage
+// resource objects (internal/sro) draw from.
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Architecture limits from §2 of the paper.
+const (
+	// MaxSegment is the largest segment an object descriptor can
+	// describe: 128 KB.
+	MaxSegment = 128 * 1024
+	// MaxPart is the largest data or access part of an object: 64 KB.
+	MaxPart = 64 * 1024
+)
+
+// Addr is a physical byte address.
+type Addr uint32
+
+// Errors reported by the memory subsystem.
+var (
+	ErrNoMemory    = errors.New("mem: insufficient free storage")
+	ErrBadSegment  = errors.New("mem: segment bounds violation")
+	ErrSegTooLarge = fmt.Errorf("mem: segment exceeds %d bytes", MaxSegment)
+	ErrNotOwned    = errors.New("mem: extent not allocated from this memory")
+)
+
+// Extent is a contiguous physical region [Base, Base+Len).
+type Extent struct {
+	Base Addr
+	Len  uint32
+}
+
+// End returns the address one past the extent.
+func (e Extent) End() Addr { return e.Base + Addr(e.Len) }
+
+// Memory is the physical store. All mutation goes through Alloc/Free and
+// the bounds-checked Read*/Write* accessors; processors never hold raw
+// slices into it, mirroring the 432 rule that all addressing is via object
+// descriptors.
+//
+// Memory is not safe for concurrent use; the lock-step processor driver
+// (internal/gdp) serialises access, exactly as the single shared bus of the
+// real machine did.
+type Memory struct {
+	data []byte
+	free []Extent // sorted by Base, coalesced
+	used uint32
+}
+
+// New creates a physical memory of the given size in bytes.
+func New(size uint32) *Memory {
+	return &Memory{
+		data: make([]byte, size),
+		free: []Extent{{Base: 0, Len: size}},
+	}
+}
+
+// Size reports the total physical size in bytes.
+func (m *Memory) Size() uint32 { return uint32(len(m.data)) }
+
+// Used reports the number of allocated bytes.
+func (m *Memory) Used() uint32 { return m.used }
+
+// FreeBytes reports the number of unallocated bytes.
+func (m *Memory) FreeBytes() uint32 { return m.Size() - m.used }
+
+// LargestFree reports the size of the largest free extent; allocation of
+// any larger segment will fail even if total free space suffices
+// (external fragmentation).
+func (m *Memory) LargestFree() uint32 {
+	var max uint32
+	for _, e := range m.free {
+		if e.Len > max {
+			max = e.Len
+		}
+	}
+	return max
+}
+
+// FragCount reports the number of disjoint free extents, a direct measure
+// of external fragmentation used by the E2/E9 experiments.
+func (m *Memory) FragCount() int { return len(m.free) }
+
+// Alloc carves a segment of n bytes from physical memory using first-fit,
+// the policy simple enough to microcode (the 432 performed allocation in
+// the create-object instruction, so the policy had to be trivial).
+func (m *Memory) Alloc(n uint32) (Extent, error) {
+	if n == 0 {
+		n = 1 // §2: segments are from 1 byte
+	}
+	if n > MaxSegment {
+		return Extent{}, ErrSegTooLarge
+	}
+	for i, e := range m.free {
+		if e.Len < n {
+			continue
+		}
+		got := Extent{Base: e.Base, Len: n}
+		if e.Len == n {
+			m.free = append(m.free[:i], m.free[i+1:]...)
+		} else {
+			m.free[i] = Extent{Base: e.Base + Addr(n), Len: e.Len - n}
+		}
+		m.used += n
+		// The hardware zeroed fresh segments: a new object must not
+		// leak a previous object's contents through a fresh
+		// capability.
+		clear(m.data[got.Base:got.End()])
+		return got, nil
+	}
+	return Extent{}, ErrNoMemory
+}
+
+// Free returns an extent to the free pool, coalescing with neighbours.
+// Freeing an extent that was not allocated (or double-freeing) is an error:
+// on the real machine only the microcode and the collector could reach this
+// path, so corruption here meant a hardware fault.
+func (m *Memory) Free(e Extent) error {
+	if e.Len == 0 {
+		return nil
+	}
+	if e.End() > Addr(m.Size()) || e.End() < e.Base {
+		return ErrNotOwned
+	}
+	// Find insertion point in the sorted free list.
+	i := sort.Search(len(m.free), func(i int) bool { return m.free[i].Base >= e.Base })
+	// Overlap checks against predecessor and successor detect double
+	// frees.
+	if i > 0 && m.free[i-1].End() > e.Base {
+		return fmt.Errorf("%w: overlaps free extent at %d", ErrNotOwned, m.free[i-1].Base)
+	}
+	if i < len(m.free) && e.End() > m.free[i].Base {
+		return fmt.Errorf("%w: overlaps free extent at %d", ErrNotOwned, m.free[i].Base)
+	}
+	m.free = append(m.free, Extent{})
+	copy(m.free[i+1:], m.free[i:])
+	m.free[i] = e
+	m.used -= e.Len
+	m.coalesce(i)
+	return nil
+}
+
+// coalesce merges the free extent at index i with adjacent extents.
+func (m *Memory) coalesce(i int) {
+	// Merge with successor first so index i stays valid.
+	if i+1 < len(m.free) && m.free[i].End() == m.free[i+1].Base {
+		m.free[i].Len += m.free[i+1].Len
+		m.free = append(m.free[:i+1], m.free[i+2:]...)
+	}
+	if i > 0 && m.free[i-1].End() == m.free[i].Base {
+		m.free[i-1].Len += m.free[i].Len
+		m.free = append(m.free[:i], m.free[i+1:]...)
+	}
+}
+
+// check validates that [off, off+n) lies inside e.
+func (m *Memory) check(e Extent, off, n uint32) error {
+	if off+n < off || off+n > e.Len || e.End() > Addr(m.Size()) {
+		return fmt.Errorf("%w: [%d,%d) in segment of %d bytes", ErrBadSegment, off, off+n, e.Len)
+	}
+	return nil
+}
+
+// ReadByteAt reads one byte at offset off within extent e.
+func (m *Memory) ReadByteAt(e Extent, off uint32) (byte, error) {
+	if err := m.check(e, off, 1); err != nil {
+		return 0, err
+	}
+	return m.data[e.Base+Addr(off)], nil
+}
+
+// WriteByteAt writes one byte at offset off within extent e.
+func (m *Memory) WriteByteAt(e Extent, off uint32, v byte) error {
+	if err := m.check(e, off, 1); err != nil {
+		return err
+	}
+	m.data[e.Base+Addr(off)] = v
+	return nil
+}
+
+// ReadWord reads a 16-bit "ordinal" (the 432's natural data unit) in
+// little-endian order at offset off.
+func (m *Memory) ReadWord(e Extent, off uint32) (uint16, error) {
+	if err := m.check(e, off, 2); err != nil {
+		return 0, err
+	}
+	b := e.Base + Addr(off)
+	return uint16(m.data[b]) | uint16(m.data[b+1])<<8, nil
+}
+
+// WriteWord writes a 16-bit ordinal at offset off.
+func (m *Memory) WriteWord(e Extent, off uint32, v uint16) error {
+	if err := m.check(e, off, 2); err != nil {
+		return err
+	}
+	b := e.Base + Addr(off)
+	m.data[b] = byte(v)
+	m.data[b+1] = byte(v >> 8)
+	return nil
+}
+
+// ReadDWord reads a 32-bit value at offset off.
+func (m *Memory) ReadDWord(e Extent, off uint32) (uint32, error) {
+	if err := m.check(e, off, 4); err != nil {
+		return 0, err
+	}
+	b := e.Base + Addr(off)
+	return uint32(m.data[b]) | uint32(m.data[b+1])<<8 |
+		uint32(m.data[b+2])<<16 | uint32(m.data[b+3])<<24, nil
+}
+
+// WriteDWord writes a 32-bit value at offset off.
+func (m *Memory) WriteDWord(e Extent, off uint32, v uint32) error {
+	if err := m.check(e, off, 4); err != nil {
+		return err
+	}
+	b := e.Base + Addr(off)
+	m.data[b] = byte(v)
+	m.data[b+1] = byte(v >> 8)
+	m.data[b+2] = byte(v >> 16)
+	m.data[b+3] = byte(v >> 24)
+	return nil
+}
+
+// ReadBytes copies n bytes starting at offset off into a fresh slice.
+func (m *Memory) ReadBytes(e Extent, off, n uint32) ([]byte, error) {
+	if err := m.check(e, off, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, m.data[e.Base+Addr(off):])
+	return out, nil
+}
+
+// WriteBytes copies p into the segment starting at offset off.
+func (m *Memory) WriteBytes(e Extent, off uint32, p []byte) error {
+	if err := m.check(e, off, uint32(len(p))); err != nil {
+		return err
+	}
+	copy(m.data[e.Base+Addr(off):], p)
+	return nil
+}
+
+// Move relocates the contents of src into a freshly allocated extent and
+// frees src. The swapping memory manager and a compacting collector use
+// this; user processes never observe it except as a segment fault (§7.3).
+func (m *Memory) Move(src Extent) (Extent, error) {
+	dst, err := m.Alloc(src.Len)
+	if err != nil {
+		return Extent{}, err
+	}
+	copy(m.data[dst.Base:dst.End()], m.data[src.Base:src.End()])
+	if err := m.Free(src); err != nil {
+		// src was bad; undo the allocation.
+		_ = m.Free(dst)
+		return Extent{}, err
+	}
+	return dst, nil
+}

@@ -1,0 +1,253 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocBasics(t *testing.T) {
+	m := New(1024)
+	e, err := m.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Len != 100 {
+		t.Fatalf("Len = %d, want 100", e.Len)
+	}
+	if m.Used() != 100 || m.FreeBytes() != 924 {
+		t.Fatalf("Used=%d Free=%d", m.Used(), m.FreeBytes())
+	}
+}
+
+func TestAllocZeroIsOneByte(t *testing.T) {
+	// §2: segments are from 1 byte; a zero-size request still yields a
+	// distinct 1-byte segment.
+	m := New(16)
+	e, err := m.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Len != 1 {
+		t.Fatalf("Len = %d, want 1", e.Len)
+	}
+}
+
+func TestAllocTooLarge(t *testing.T) {
+	m := New(MaxSegment * 2)
+	if _, err := m.Alloc(MaxSegment + 1); !errors.Is(err, ErrSegTooLarge) {
+		t.Fatalf("err = %v, want ErrSegTooLarge", err)
+	}
+	if _, err := m.Alloc(MaxSegment); err != nil {
+		t.Fatalf("exactly MaxSegment should allocate: %v", err)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	m := New(256)
+	if _, err := m.Alloc(200); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc(100); !errors.Is(err, ErrNoMemory) {
+		t.Fatalf("err = %v, want ErrNoMemory", err)
+	}
+	// But 56 bytes remain allocatable.
+	if _, err := m.Alloc(56); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeCoalesce(t *testing.T) {
+	m := New(300)
+	a, _ := m.Alloc(100)
+	b, _ := m.Alloc(100)
+	c, _ := m.Alloc(100)
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(c); err != nil {
+		t.Fatal(err)
+	}
+	if m.FragCount() != 2 {
+		t.Fatalf("FragCount = %d, want 2", m.FragCount())
+	}
+	if err := m.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	// a+b+c coalesce back into the single original extent.
+	if m.FragCount() != 1 {
+		t.Fatalf("FragCount = %d, want 1", m.FragCount())
+	}
+	if m.LargestFree() != 300 {
+		t.Fatalf("LargestFree = %d, want 300", m.LargestFree())
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	m := New(128)
+	a, _ := m.Alloc(64)
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(a); !errors.Is(err, ErrNotOwned) {
+		t.Fatalf("double free: err = %v, want ErrNotOwned", err)
+	}
+}
+
+func TestFreeOutOfRange(t *testing.T) {
+	m := New(128)
+	if err := m.Free(Extent{Base: 1000, Len: 10}); !errors.Is(err, ErrNotOwned) {
+		t.Fatalf("err = %v, want ErrNotOwned", err)
+	}
+}
+
+func TestFreshSegmentZeroed(t *testing.T) {
+	// A new object must not leak a previous object's contents.
+	m := New(64)
+	a, _ := m.Alloc(64)
+	for i := uint32(0); i < 64; i++ {
+		if err := m.WriteByteAt(a, i, 0xAA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Alloc(64)
+	for i := uint32(0); i < 64; i++ {
+		v, err := m.ReadByteAt(b, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 0 {
+			t.Fatalf("byte %d = %#x after realloc, want 0", i, v)
+		}
+	}
+}
+
+func TestBoundsChecks(t *testing.T) {
+	m := New(64)
+	e, _ := m.Alloc(8)
+	if _, err := m.ReadByteAt(e, 8); !errors.Is(err, ErrBadSegment) {
+		t.Errorf("ReadByteAt past end: %v", err)
+	}
+	if err := m.WriteWord(e, 7, 1); !errors.Is(err, ErrBadSegment) {
+		t.Errorf("WriteWord straddling end: %v", err)
+	}
+	if _, err := m.ReadDWord(e, 5); !errors.Is(err, ErrBadSegment) {
+		t.Errorf("ReadDWord straddling end: %v", err)
+	}
+	// Offset overflow must not wrap.
+	if _, err := m.ReadBytes(e, ^uint32(0), 2); !errors.Is(err, ErrBadSegment) {
+		t.Errorf("overflowing offset: %v", err)
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	m := New(64)
+	e, _ := m.Alloc(16)
+	if err := m.WriteWord(e, 2, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadWord(e, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xBEEF {
+		t.Fatalf("ReadWord = %#x", v)
+	}
+	if err := m.WriteDWord(e, 8, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.ReadDWord(e, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0xDEADBEEF {
+		t.Fatalf("ReadDWord = %#x", d)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	m := New(64)
+	e, _ := m.Alloc(32)
+	in := []byte("the 432 blurs hw and sw")
+	if err := m.WriteBytes(e, 3, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.ReadBytes(e, 3, uint32(len(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(in) {
+		t.Fatalf("round trip = %q", out)
+	}
+}
+
+func TestMove(t *testing.T) {
+	m := New(256)
+	a, _ := m.Alloc(32)
+	if err := m.WriteBytes(a, 0, []byte("swapped segment")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Move(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.ReadBytes(b, 0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "swapped segment" {
+		t.Fatalf("after Move: %q", out)
+	}
+	// The source extent must be free again (freeing it is an error).
+	if err := m.Free(a); err == nil {
+		t.Fatal("source extent still allocated after Move")
+	}
+	if m.Used() != 32 {
+		t.Fatalf("Used = %d, want 32", m.Used())
+	}
+}
+
+// TestAllocFreeInvariant property-checks the central bookkeeping invariant:
+// after any interleaving of allocs and frees, used+free bytes equals the
+// memory size and no two free extents overlap or abut.
+func TestAllocFreeInvariant(t *testing.T) {
+	f := func(sizes []uint16, freeMask []bool) bool {
+		m := New(1 << 16)
+		var live []Extent
+		for _, s := range sizes {
+			e, err := m.Alloc(uint32(s%2048) + 1)
+			if err != nil {
+				continue
+			}
+			live = append(live, e)
+		}
+		for i, e := range live {
+			if i < len(freeMask) && freeMask[i] {
+				if err := m.Free(e); err != nil {
+					return false
+				}
+			}
+		}
+		// Invariant 1: conservation of bytes.
+		var free uint32
+		for _, e := range m.free {
+			free += e.Len
+		}
+		if free+m.Used() != m.Size() {
+			return false
+		}
+		// Invariant 2: free list sorted, disjoint, coalesced.
+		for i := 1; i < len(m.free); i++ {
+			if m.free[i-1].End() >= m.free[i].Base {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

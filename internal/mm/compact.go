@@ -1,0 +1,93 @@
+package mm
+
+import (
+	"repro/internal/mem"
+	"repro/internal/obj"
+	"repro/internal/vtime"
+)
+
+// Compaction. First-fit allocation fragments physical memory; the 432's
+// object descriptors made compaction straightforward because every
+// segment has exactly one descriptor holding its physical address — move
+// the bytes, update the descriptor, and every capability in the system
+// still works (capabilities name the descriptor, not the address). This
+// is the same indirection the swapping manager exploits, and the reason
+// the paper can say a segment "might be being moved and therefore be
+// inaccessible for some period of time" (§7.3) without breaking anyone.
+//
+// Compact is provided on the swapping manager (it owns segment motion);
+// the non-swapping release omits it, as release 1 of iMAX omitted
+// everything beyond basic allocation (§9).
+
+// Compact relocates resident objects toward low memory until no further
+// move helps, reducing external fragmentation. It reports the number of
+// segments moved and the simulated cycles charged. Pinned objects move
+// too — pinning protects from reclamation and swapping, not from motion,
+// which is invisible through the descriptor indirection.
+func (m *Swapping) Compact() (moved int, spent vtime.Cycles, fault *obj.Fault) {
+	// Repeatedly pick the live extent with the highest base that fits
+	// into a lower free slot. Simple and quadratic-ish, but bounded by
+	// the live object count and deterministic.
+	for {
+		progress := false
+		for i := 1; i < m.Table.Len(); i++ {
+			idx := obj.Index(i)
+			d := m.Table.DescriptorAt(idx)
+			if d == nil || d.SwappedOut {
+				continue
+			}
+			// Try moving each part to a strictly lower address.
+			if d.DataLen > 0 {
+				if e, ok := m.tryMoveLower(d.Data); ok {
+					d.Data = e
+					moved++
+					spent += vtime.CostSwapIn/4 + vtime.Cycles(d.DataLen/64)
+					progress = true
+				}
+			}
+			if d.AccessSlots > 0 {
+				if e, ok := m.tryMoveLower(d.Access); ok {
+					d.Access = e
+					moved++
+					spent += vtime.CostSwapIn/4 + vtime.Cycles(d.AccessSlots*obj.ADSlotSize/64)
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return moved, spent, nil
+}
+
+// tryMoveLower relocates extent e if a strictly lower-addressed free
+// region can hold it; it reports the new extent.
+func (m *Swapping) tryMoveLower(e mem.Extent) (mem.Extent, bool) {
+	mem := m.Table.Memory()
+	dst, err := mem.Alloc(e.Len)
+	if err != nil {
+		return e, false
+	}
+	if dst.Base >= e.Base {
+		// No improvement; undo.
+		_ = mem.Free(dst)
+		return e, false
+	}
+	// Copy the contents and release the old extent.
+	p, err := mem.ReadBytes(e, 0, e.Len)
+	if err != nil {
+		_ = mem.Free(dst)
+		return e, false
+	}
+	if err := mem.WriteBytes(dst, 0, p); err != nil {
+		_ = mem.Free(dst)
+		return e, false
+	}
+	if err := mem.Free(e); err != nil {
+		// The old extent is damaged; keep the copy anyway — the
+		// descriptor must point at valid storage.
+		return dst, true
+	}
+	return dst, true
+}

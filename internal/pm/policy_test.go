@@ -1,0 +1,41 @@
+package pm
+
+import (
+	"testing"
+
+	"repro/internal/gdp"
+	"repro/internal/obj"
+)
+
+func TestNullPolicyPassesParametersThrough(t *testing.T) {
+	sys, err := gdp.New(gdp.Config{Processors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBasic(sys)
+	dom := spinDomain(t, sys, 5)
+	p, f := b.CreateProcess(dom, obj.NilAD, gdp.SpawnSpec{Priority: 1, TimeSlice: 100})
+	if f != nil {
+		t.Fatal(f)
+	}
+	null := &NullPolicy{Basic: b}
+	// The null policy imposes nothing: whatever the user asks for lands
+	// directly in the hardware parameters (§6.1).
+	if f := null.SetPriority(p, 15); f != nil {
+		t.Fatal(f)
+	}
+	if f := null.SetTimeSlice(p, 0); f != nil {
+		t.Fatal(f)
+	}
+	if prio, _ := sys.Procs.Priority(p); prio != 15 {
+		t.Fatalf("priority = %d", prio)
+	}
+	if ts, _ := sys.Procs.TimeSlice(p); ts != 0 {
+		t.Fatalf("time slice = %d", ts)
+	}
+	// Without the control right it refuses, like the raw hardware path.
+	weak := p.Restrict(obj.RightT1)
+	if f := null.SetPriority(weak, 1); !obj.IsFault(f, obj.FaultRights) {
+		t.Fatalf("null policy bypassed rights: %v", f)
+	}
+}

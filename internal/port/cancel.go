@@ -1,0 +1,81 @@
+package port
+
+import (
+	"repro/internal/obj"
+)
+
+// Waiter cancellation: the piece of the port machinery that timeout
+// service is built on. A process parked at a port (as sender or receiver)
+// can be unlinked before its operation completes — the interval timer
+// fires, the process manager wants to destroy the process, or a level-2
+// timeout fault must be raised (§7.3). The carrier is removed and
+// reclaimed; a cancelled sender's message is returned so the caller can
+// decide its fate.
+
+// CancelWaiter removes proc from the port's wait queues. It reports
+// whether the process was found, and, for a cancelled sender, the message
+// its carrier held.
+func (m *Manager) CancelWaiter(p obj.AD, proc obj.AD) (found bool, msg obj.AD, f *obj.Fault) {
+	if _, f := m.Table.RequireType(p, obj.TypePort); f != nil {
+		return false, obj.NilAD, f
+	}
+	for _, q := range []struct{ head, tail uint32 }{
+		{slotSendHead, slotSendTail},
+		{slotRecvHead, slotRecvTail},
+	} {
+		found, msg, f := m.unlink(p, q.head, q.tail, proc)
+		if f != nil {
+			return false, obj.NilAD, f
+		}
+		if found {
+			return true, msg, nil
+		}
+	}
+	return false, obj.NilAD, nil
+}
+
+// unlink removes the carrier holding proc from one wait queue.
+func (m *Manager) unlink(p obj.AD, headSlot, tailSlot uint32, proc obj.AD) (bool, obj.AD, *obj.Fault) {
+	var prev obj.AD
+	cur, f := m.Table.LoadAD(p, headSlot)
+	if f != nil {
+		return false, obj.NilAD, f
+	}
+	for cur.Valid() {
+		held, f := m.Table.LoadAD(cur, carSlotProcess)
+		if f != nil {
+			return false, obj.NilAD, f
+		}
+		next, f := m.Table.LoadAD(cur, carSlotNext)
+		if f != nil {
+			return false, obj.NilAD, f
+		}
+		if held.Index == proc.Index {
+			msg, f := m.Table.LoadAD(cur, carSlotMessage)
+			if f != nil {
+				return false, obj.NilAD, f
+			}
+			// Splice the carrier out.
+			if prev.Valid() {
+				if f := m.Table.StoreADSystem(prev, carSlotNext, next); f != nil {
+					return false, obj.NilAD, f
+				}
+			} else {
+				if f := m.Table.StoreADSystem(p, headSlot, next); f != nil {
+					return false, obj.NilAD, f
+				}
+			}
+			if !next.Valid() {
+				if f := m.Table.StoreADSystem(p, tailSlot, prev); f != nil {
+					return false, obj.NilAD, f
+				}
+			}
+			if f := m.SRO.Reclaim(cur.Index); f != nil {
+				return false, obj.NilAD, f
+			}
+			return true, msg, nil
+		}
+		prev, cur = cur, next
+	}
+	return false, obj.NilAD, nil
+}

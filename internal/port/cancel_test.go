@@ -1,0 +1,155 @@
+package port
+
+import (
+	"testing"
+
+	"repro/internal/obj"
+)
+
+func TestCancelBlockedSender(t *testing.T) {
+	fx := setup(t)
+	p := fx.newPort(t, 1, FIFO)
+	fx.m.Send(p, fx.newMsg(t), 0, obj.NilAD) // fill
+	proc := fx.newProc(t)
+	msg := fx.newMsg(t)
+	if blocked, _, f := fx.m.Send(p, msg, 0, proc); f != nil || !blocked {
+		t.Fatalf("park failed: %v %v", blocked, f)
+	}
+	found, got, f := fx.m.CancelWaiter(p, proc)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if !found {
+		t.Fatal("parked sender not found")
+	}
+	if got.Index != msg.Index {
+		t.Fatal("cancelled sender's message not returned")
+	}
+	if n, _ := fx.m.WaitingSenders(p); n != 0 {
+		t.Fatalf("WaitingSenders = %d after cancel", n)
+	}
+	// The port still works: draining the one queued message wakes
+	// nobody (the cancelled sender is gone).
+	_, _, wake, f := fx.m.Receive(p, obj.NilAD)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if wake != nil {
+		t.Fatal("cancelled sender woken")
+	}
+}
+
+func TestCancelBlockedReceiver(t *testing.T) {
+	fx := setup(t)
+	p := fx.newPort(t, 2, FIFO)
+	proc := fx.newProc(t)
+	if _, blocked, _, f := fx.m.Receive(p, proc); f != nil || !blocked {
+		t.Fatalf("park failed: %v %v", blocked, f)
+	}
+	found, msg, f := fx.m.CancelWaiter(p, proc)
+	if f != nil || !found {
+		t.Fatalf("cancel: %v %v", found, f)
+	}
+	if msg.Valid() {
+		t.Fatal("receiver carrier held a message")
+	}
+	// A subsequent send queues instead of waking the gone receiver.
+	blocked, wake, f := fx.m.Send(p, fx.newMsg(t), 0, obj.NilAD)
+	if f != nil || blocked || wake != nil {
+		t.Fatalf("send after cancel: %v %v %v", blocked, wake, f)
+	}
+	if n, _ := fx.m.Count(p); n != 1 {
+		t.Fatalf("Count = %d", n)
+	}
+}
+
+func TestCancelMiddleOfQueue(t *testing.T) {
+	fx := setup(t)
+	p := fx.newPort(t, 1, FIFO)
+	fx.m.Send(p, fx.newMsg(t), 0, obj.NilAD) // fill
+	procs := []obj.AD{fx.newProc(t), fx.newProc(t), fx.newProc(t)}
+	for _, proc := range procs {
+		if blocked, _, f := fx.m.Send(p, fx.newMsg(t), 0, proc); f != nil || !blocked {
+			t.Fatalf("park: %v %v", blocked, f)
+		}
+	}
+	// Cancel the middle waiter.
+	if found, _, f := fx.m.CancelWaiter(p, procs[1]); f != nil || !found {
+		t.Fatalf("cancel middle: %v %v", found, f)
+	}
+	if n, _ := fx.m.WaitingSenders(p); n != 2 {
+		t.Fatalf("WaitingSenders = %d", n)
+	}
+	// The remaining waiters wake in their original order.
+	_, _, wake, _ := fx.m.Receive(p, obj.NilAD)
+	if wake == nil || wake.Process.Index != procs[0].Index {
+		t.Fatal("first waiter wrong after middle cancel")
+	}
+	_, _, wake, _ = fx.m.Receive(p, obj.NilAD)
+	if wake == nil || wake.Process.Index != procs[2].Index {
+		t.Fatal("last waiter wrong after middle cancel")
+	}
+}
+
+func TestCancelTailThenAppend(t *testing.T) {
+	// Removing the tail must fix the tail pointer so later parks link
+	// correctly.
+	fx := setup(t)
+	p := fx.newPort(t, 1, FIFO)
+	fx.m.Send(p, fx.newMsg(t), 0, obj.NilAD)
+	a, bProc := fx.newProc(t), fx.newProc(t)
+	fx.m.Send(p, fx.newMsg(t), 0, a)
+	fx.m.Send(p, fx.newMsg(t), 0, bProc)
+	if found, _, f := fx.m.CancelWaiter(p, bProc); f != nil || !found {
+		t.Fatalf("cancel tail: %v %v", found, f)
+	}
+	c := fx.newProc(t)
+	if blocked, _, f := fx.m.Send(p, fx.newMsg(t), 0, c); f != nil || !blocked {
+		t.Fatalf("append after tail cancel: %v %v", blocked, f)
+	}
+	if n, _ := fx.m.WaitingSenders(p); n != 2 {
+		t.Fatalf("WaitingSenders = %d", n)
+	}
+	_, _, wake, _ := fx.m.Receive(p, obj.NilAD)
+	if wake == nil || wake.Process.Index != a.Index {
+		t.Fatal("head waiter wrong")
+	}
+	_, _, wake, _ = fx.m.Receive(p, obj.NilAD)
+	if wake == nil || wake.Process.Index != c.Index {
+		t.Fatal("appended waiter lost after tail cancel")
+	}
+}
+
+func TestCancelAbsentWaiter(t *testing.T) {
+	fx := setup(t)
+	p := fx.newPort(t, 2, FIFO)
+	proc := fx.newProc(t)
+	found, _, f := fx.m.CancelWaiter(p, proc)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if found {
+		t.Fatal("absent waiter reported found")
+	}
+	notPort := fx.newMsg(t)
+	if _, _, f := fx.m.CancelWaiter(notPort, proc); !obj.IsFault(f, obj.FaultType) {
+		t.Fatalf("cancel on non-port: %v", f)
+	}
+}
+
+func TestCancelReclaimsCarrier(t *testing.T) {
+	fx := setup(t)
+	p := fx.newPort(t, 1, FIFO)
+	fx.m.Send(p, fx.newMsg(t), 0, obj.NilAD)
+	proc := fx.newProc(t)
+	msg := fx.newMsg(t)
+	before := fx.tab.Live()
+	fx.m.Send(p, msg, 0, proc) // +1 carrier
+	if fx.tab.Live() != before+1 {
+		t.Fatalf("carrier not created: %d vs %d", fx.tab.Live(), before+1)
+	}
+	fx.m.CancelWaiter(p, proc)
+	if fx.tab.Live() != before {
+		t.Fatal("carrier leaked by cancel")
+	}
+}

@@ -1,0 +1,289 @@
+package process
+
+import (
+	"testing"
+
+	"repro/internal/obj"
+	"repro/internal/sro"
+)
+
+type fixture struct {
+	tab  *obj.Table
+	sros *sro.Manager
+	m    *Manager
+	heap obj.AD
+}
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	tab := obj.NewTable(1 << 20)
+	s := sro.NewManager(tab)
+	heap, f := s.NewGlobalHeap(0)
+	if f != nil {
+		t.Fatal(f)
+	}
+	return &fixture{tab: tab, sros: s, m: NewManager(tab, s), heap: heap}
+}
+
+func (fx *fixture) newProc(t *testing.T, spec Spec) obj.AD {
+	t.Helper()
+	p, f := fx.m.Create(fx.heap, spec)
+	if f != nil {
+		t.Fatal(f)
+	}
+	return p
+}
+
+func TestCreateDefaults(t *testing.T) {
+	fx := setup(t)
+	p := fx.newProc(t, Spec{Priority: 7, TimeSlice: 1000})
+	if st, _ := fx.m.StateOf(p); st != StateReady {
+		t.Errorf("initial state = %v", st)
+	}
+	if prio, _ := fx.m.Priority(p); prio != 7 {
+		t.Errorf("priority = %d", prio)
+	}
+	if ts, _ := fx.m.TimeSlice(p); ts != 1000 {
+		t.Errorf("time slice = %d", ts)
+	}
+	if sc, _ := fx.m.StopCount(p); sc != 0 {
+		t.Errorf("stop count = %d", sc)
+	}
+	if d, _ := fx.m.Depth(p); d != 0 {
+		t.Errorf("depth = %d", d)
+	}
+	if ctx, _ := fx.m.Context(p); ctx.Valid() {
+		t.Error("new process has a context")
+	}
+}
+
+func TestPIDsDistinct(t *testing.T) {
+	fx := setup(t)
+	a := fx.newProc(t, Spec{})
+	b := fx.newProc(t, Spec{})
+	pa, _ := fx.m.PID(a)
+	pb, _ := fx.m.PID(b)
+	if pa == pb {
+		t.Fatalf("PIDs collide: %d", pa)
+	}
+}
+
+func TestLinksStored(t *testing.T) {
+	fx := setup(t)
+	fault, _ := fx.sros.Create(fx.heap, obj.CreateSpec{Type: obj.TypePort, DataLen: 32, AccessSlots: 8})
+	disp, _ := fx.sros.Create(fx.heap, obj.CreateSpec{Type: obj.TypePort, DataLen: 32, AccessSlots: 8})
+	parent := fx.newProc(t, Spec{})
+	p := fx.newProc(t, Spec{FaultPort: fault, DispatchPort: disp, Parent: parent})
+	if got, _ := fx.m.Link(p, SlotFaultPort); got.Index != fault.Index {
+		t.Error("fault port not linked")
+	}
+	if got, _ := fx.m.Link(p, SlotDispatchPort); got.Index != disp.Index {
+		t.Error("dispatch port not linked")
+	}
+	if got, _ := fx.m.Link(p, SlotParent); got.Index != parent.Index {
+		t.Error("parent not linked")
+	}
+	if got, _ := fx.m.Link(p, SlotSRO); got.Index != fx.heap.Index {
+		t.Error("default SRO not linked")
+	}
+}
+
+func TestControlRightRequired(t *testing.T) {
+	fx := setup(t)
+	p := fx.newProc(t, Spec{Priority: 1})
+	weak := p.Restrict(RightControl)
+	if f := fx.m.SetPriority(weak, 9); !obj.IsFault(f, obj.FaultRights) {
+		t.Errorf("SetPriority without control right: %v", f)
+	}
+	if f := fx.m.SetTimeSlice(weak, 9); !obj.IsFault(f, obj.FaultRights) {
+		t.Errorf("SetTimeSlice without control right: %v", f)
+	}
+	if f := fx.m.SetPriority(p, 9); f != nil {
+		t.Errorf("SetPriority with right: %v", f)
+	}
+	if prio, _ := fx.m.Priority(p); prio != 9 {
+		t.Errorf("priority = %d", prio)
+	}
+}
+
+func TestPushPopContext(t *testing.T) {
+	fx := setup(t)
+	p := fx.newProc(t, Spec{})
+	dom, _ := fx.sros.Create(fx.heap, obj.CreateSpec{Type: obj.TypeDomain, DataLen: 16, AccessSlots: 4})
+
+	c1, f := fx.m.PushContext(p, dom)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if d, _ := fx.m.Depth(p); d != 1 {
+		t.Fatalf("depth = %d", d)
+	}
+	if lvl, _ := fx.tab.LevelOf(c1); lvl != 1 {
+		t.Fatalf("context level = %d, want 1", lvl)
+	}
+	c2, f := fx.m.PushContext(p, dom)
+	if f != nil {
+		t.Fatal(f)
+	}
+	// §5: each context has a level one greater than its caller's.
+	if lvl, _ := fx.tab.LevelOf(c2); lvl != 2 {
+		t.Fatalf("nested context level = %d, want 2", lvl)
+	}
+	if cur, _ := fx.m.Context(p); cur.Index != c2.Index {
+		t.Fatal("current context not updated")
+	}
+	caller, f := fx.m.PopContext(p)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if caller.Index != c1.Index {
+		t.Fatal("pop did not restore caller")
+	}
+	if d, _ := fx.m.Depth(p); d != 1 {
+		t.Fatalf("depth after pop = %d", d)
+	}
+	// The popped context is reclaimed.
+	if _, f := fx.m.IP(c2); !obj.IsFault(f, obj.FaultInvalidAD) {
+		t.Fatalf("popped context survived: %v", f)
+	}
+}
+
+func TestPopDestroysLocalHeap(t *testing.T) {
+	fx := setup(t)
+	p := fx.newProc(t, Spec{})
+	ctx, f := fx.m.PushContext(p, obj.NilAD)
+	if f != nil {
+		t.Fatal(f)
+	}
+	// Create a frame-local heap and allocate from it (§5 local heaps).
+	local, f := fx.sros.NewLocalHeap(fx.heap, 1, 0)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if f := fx.tab.StoreADSystem(ctx, CtxSlotLocalSRO, local); f != nil {
+		t.Fatal(f)
+	}
+	var locals []obj.AD
+	for i := 0; i < 5; i++ {
+		ad, f := fx.sros.Create(local, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 16})
+		if f != nil {
+			t.Fatal(f)
+		}
+		locals = append(locals, ad)
+	}
+	if _, f := fx.m.PopContext(p); f != nil {
+		t.Fatal(f)
+	}
+	for _, ad := range locals {
+		if _, f := fx.tab.ReadByteAt(ad, 0); !obj.IsFault(f, obj.FaultInvalidAD) {
+			t.Fatal("local object survived frame exit")
+		}
+	}
+}
+
+func TestPopEmptyStackFaults(t *testing.T) {
+	fx := setup(t)
+	p := fx.newProc(t, Spec{})
+	if _, f := fx.m.PopContext(p); !obj.IsFault(f, obj.FaultOddity) {
+		t.Fatalf("pop with no context: %v", f)
+	}
+}
+
+func TestRegisters(t *testing.T) {
+	fx := setup(t)
+	p := fx.newProc(t, Spec{})
+	ctx, _ := fx.m.PushContext(p, obj.NilAD)
+	if f := fx.m.SetReg(ctx, 3, 0xCAFE); f != nil {
+		t.Fatal(f)
+	}
+	if v, _ := fx.m.Reg(ctx, 3); v != 0xCAFE {
+		t.Fatalf("r3 = %#x", v)
+	}
+	if _, f := fx.m.Reg(ctx, 8); !obj.IsFault(f, obj.FaultBounds) {
+		t.Errorf("register 8: %v", f)
+	}
+	if f := fx.m.SetReg(ctx, 200, 1); !obj.IsFault(f, obj.FaultBounds) {
+		t.Errorf("register 200: %v", f)
+	}
+
+	target, _ := fx.sros.Create(fx.heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 4})
+	if f := fx.m.SetAReg(ctx, 2, target); f != nil {
+		t.Fatal(f)
+	}
+	if got, _ := fx.m.AReg(ctx, 2); got.Index != target.Index {
+		t.Fatal("a2 round trip failed")
+	}
+	if _, f := fx.m.AReg(ctx, 4); !obj.IsFault(f, obj.FaultBounds) {
+		t.Errorf("access register 4: %v", f)
+	}
+}
+
+func TestIPAndResume(t *testing.T) {
+	fx := setup(t)
+	p := fx.newProc(t, Spec{})
+	ctx, _ := fx.m.PushContext(p, obj.NilAD)
+	if f := fx.m.SetIP(ctx, 17); f != nil {
+		t.Fatal(f)
+	}
+	if ip, _ := fx.m.IP(ctx); ip != 17 {
+		t.Fatalf("IP = %d", ip)
+	}
+	if f := fx.m.SetResume(ctx, ResumeRecv|2<<8); f != nil {
+		t.Fatal(f)
+	}
+	act, f := fx.m.Resume(ctx)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if act != ResumeRecv|2<<8 {
+		t.Fatalf("resume = %#x", act)
+	}
+	// Resume reads clear the action.
+	if act, _ := fx.m.Resume(ctx); act != ResumeNone {
+		t.Fatalf("resume not cleared: %#x", act)
+	}
+}
+
+func TestStateTransitions(t *testing.T) {
+	fx := setup(t)
+	p := fx.newProc(t, Spec{})
+	for _, s := range []State{StateRunning, StateBlocked, StateReady, StateStopped, StateTerminated} {
+		if f := fx.m.SetState(p, s); f != nil {
+			t.Fatal(f)
+		}
+		if got, _ := fx.m.StateOf(p); got != s {
+			t.Fatalf("state = %v, want %v", got, s)
+		}
+	}
+}
+
+func TestFaultCodeRecorded(t *testing.T) {
+	fx := setup(t)
+	p := fx.newProc(t, Spec{})
+	if f := fx.m.SetFaultCode(p, obj.FaultLevel); f != nil {
+		t.Fatal(f)
+	}
+	if c, _ := fx.m.FaultCode(p); c != obj.FaultLevel {
+		t.Fatalf("fault code = %v", c)
+	}
+}
+
+func TestOpsOnNonProcess(t *testing.T) {
+	fx := setup(t)
+	notProc, _ := fx.sros.Create(fx.heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 32})
+	if _, f := fx.m.StateOf(notProc); !obj.IsFault(f, obj.FaultType) {
+		t.Errorf("StateOf non-process: %v", f)
+	}
+	if _, f := fx.m.PushContext(notProc, obj.NilAD); !obj.IsFault(f, obj.FaultType) {
+		t.Errorf("PushContext non-process: %v", f)
+	}
+	if _, f := fx.m.IP(notProc); !obj.IsFault(f, obj.FaultType) {
+		t.Errorf("IP of non-context: %v", f)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateReady.String() != "ready" || State(99).String() != "state(?)" {
+		t.Error("State.String broken")
+	}
+}

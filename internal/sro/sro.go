@@ -1,0 +1,281 @@
+// Package sro implements storage resource objects, the 432's memory
+// allocation abstraction (§5 of the paper).
+//
+// An SRO "describes free areas of memory and provides the information
+// necessary to allocate both physical and logical address space". Every
+// object is created from some SRO and inherits the SRO's level number;
+// iMAX arranges SROs and processes into a tree so that Ada's scoping and
+// lifetime rules fall out of the hardware's level checks:
+//
+//   - a global heap is an SRO creating level-0 objects that live until the
+//     collector proves them unreachable;
+//   - a local heap is an SRO created at a process's current dynamic depth;
+//     references to its objects cannot escape upward (the level rule), so
+//     the whole heap can be destroyed in bulk when the depth is exited —
+//     "without leaving dangling references".
+//
+// SROs carry a storage claim: a byte budget drawn down by creation and
+// credited by reclamation, which is how iMAX arbitrates memory among
+// subsystems without a central table.
+package sro
+
+import (
+	"repro/internal/obj"
+)
+
+// RightAllocate on an SRO capability permits creating objects from it.
+const RightAllocate = obj.RightT1
+
+// SRO data-part layout.
+const (
+	offLevel  = 0  // word: level of objects created from this SRO
+	offClaim  = 4  // dword: storage claim in bytes (0 = unlimited)
+	offUsed   = 8  // dword: bytes currently drawn
+	offAllocs = 12 // dword: cumulative creation count
+	sroData   = 16
+)
+
+// SRO access-part slots.
+const (
+	slotParent = 0 // parent SRO (NilAD for the root)
+	sroSlots   = 1
+)
+
+// Manager provides the SRO operations over an object table. iMAX's memory
+// managers (internal/mm) layer policy (swapping or not) over this
+// mechanism.
+type Manager struct {
+	Table *obj.Table
+}
+
+// NewManager returns an SRO manager over the given table.
+func NewManager(t *obj.Table) *Manager { return &Manager{Table: t} }
+
+// NewGlobalHeap creates a root SRO producing level-0 (immortal until
+// collected) objects. claim limits the bytes it may have outstanding;
+// 0 means bounded only by physical memory. The SRO object itself is
+// level 0 and belongs to no SRO (it is reclaimed only explicitly).
+func (m *Manager) NewGlobalHeap(claim uint32) (obj.AD, *obj.Fault) {
+	return m.newSRO(obj.NilAD, obj.LevelGlobal, claim)
+}
+
+// NewLocalHeap creates an SRO producing objects at the given level,
+// drawing storage accounted to the parent SRO. Destroying the parent
+// destroys the local heap and, transitively, everything allocated from it
+// (§5: objects "may be destroyed whenever their ancestral SRO is
+// destroyed").
+func (m *Manager) NewLocalHeap(parent obj.AD, level obj.Level, claim uint32) (obj.AD, *obj.Fault) {
+	if _, f := m.Table.RequireType(parent, obj.TypeSRO); f != nil {
+		return obj.NilAD, f
+	}
+	if !parent.Rights.Has(RightAllocate) {
+		return obj.NilAD, obj.Faultf(obj.FaultRights, parent, "need allocate right on SRO")
+	}
+	parentLevel, f := m.Table.ReadWord(parent, offLevel)
+	if f != nil {
+		return obj.NilAD, f
+	}
+	if level < obj.Level(parentLevel) {
+		return obj.NilAD, obj.Faultf(obj.FaultLevel, parent,
+			"local heap level %d below parent's %d", level, parentLevel)
+	}
+	return m.newSRO(parent, level, claim)
+}
+
+func (m *Manager) newSRO(parent obj.AD, level obj.Level, claim uint32) (obj.AD, *obj.Fault) {
+	spec := obj.CreateSpec{
+		Type:        obj.TypeSRO,
+		DataLen:     sroData,
+		AccessSlots: sroSlots,
+	}
+	if parent.Valid() {
+		// The SRO object itself is allocated from its parent so that
+		// bulk destruction of the parent sweeps it up. Its own level
+		// is the parent's level (the SRO must be storable where its
+		// creator can reach it), while the objects it creates get
+		// the (deeper) level recorded in its data part.
+		pl, f := m.Table.ReadWord(parent, offLevel)
+		if f != nil {
+			return obj.NilAD, f
+		}
+		spec.Level = obj.Level(pl)
+		spec.SRO = parent.Index
+	}
+	sroAD, f := m.Table.Create(spec)
+	if f != nil {
+		return obj.NilAD, f
+	}
+	if parent.Valid() {
+		if f := m.charge(parent, sroData+sroSlots*obj.ADSlotSize); f != nil {
+			_ = m.Table.DestroyIndex(sroAD.Index)
+			return obj.NilAD, f
+		}
+	}
+	if f := m.Table.WriteWord(sroAD, offLevel, uint16(level)); f != nil {
+		return obj.NilAD, f
+	}
+	if f := m.Table.WriteDWord(sroAD, offClaim, claim); f != nil {
+		return obj.NilAD, f
+	}
+	if parent.Valid() {
+		if f := m.Table.StoreAD(sroAD, slotParent, parent.Restrict(obj.RightsAll)); f != nil {
+			return obj.NilAD, f
+		}
+	}
+	return sroAD, nil
+}
+
+// footprint is the byte cost charged to an SRO for an object.
+func footprint(spec obj.CreateSpec) uint32 {
+	return spec.DataLen + spec.AccessSlots*obj.ADSlotSize
+}
+
+func (m *Manager) charge(sro obj.AD, n uint32) *obj.Fault {
+	claim, f := m.Table.ReadDWord(sro, offClaim)
+	if f != nil {
+		return f
+	}
+	used, f := m.Table.ReadDWord(sro, offUsed)
+	if f != nil {
+		return f
+	}
+	if claim != 0 && used+n > claim {
+		return obj.Faultf(obj.FaultStorageClaim, sro,
+			"claim %d bytes, used %d, need %d more", claim, used, n)
+	}
+	return m.Table.WriteDWord(sro, offUsed, used+n)
+}
+
+func (m *Manager) credit(sroIdx obj.Index, n uint32) {
+	d := m.Table.DescriptorAt(sroIdx)
+	if d == nil || d.Type != obj.TypeSRO {
+		return // ancestral SRO already gone; nothing to credit
+	}
+	ad := obj.AD{Index: sroIdx, Gen: d.Gen, Rights: obj.RightsAll}
+	used, f := m.Table.ReadDWord(ad, offUsed)
+	if f != nil {
+		return
+	}
+	if n > used {
+		n = used // never underflow; damaged accounting degrades safely
+	}
+	_ = m.Table.WriteDWord(ad, offUsed, used-n)
+}
+
+// Create allocates a new object from the SRO: the create-object
+// instruction's software half. The object's level and ancestry come from
+// the SRO; the spec's Type, DataLen and AccessSlots are the caller's.
+func (m *Manager) Create(sro obj.AD, spec obj.CreateSpec) (obj.AD, *obj.Fault) {
+	if _, f := m.Table.RequireType(sro, obj.TypeSRO); f != nil {
+		return obj.NilAD, f
+	}
+	if !sro.Rights.Has(RightAllocate) {
+		return obj.NilAD, obj.Faultf(obj.FaultRights, sro, "need allocate right on SRO")
+	}
+	level, f := m.Table.ReadWord(sro, offLevel)
+	if f != nil {
+		return obj.NilAD, f
+	}
+	spec.Level = obj.Level(level)
+	spec.SRO = sro.Index
+	if f := m.charge(sro, footprint(spec)); f != nil {
+		return obj.NilAD, f
+	}
+	ad, f := m.Table.Create(spec)
+	if f != nil {
+		m.credit(sro.Index, footprint(spec))
+		return obj.NilAD, f
+	}
+	allocs, _ := m.Table.ReadDWord(sro, offAllocs)
+	_ = m.Table.WriteDWord(sro, offAllocs, allocs+1)
+	return ad, nil
+}
+
+// Reclaim destroys the object at idx and credits its footprint back to its
+// ancestral SRO. The collector's sweep uses this instead of raw
+// DestroyIndex so that storage claims stay truthful.
+func (m *Manager) Reclaim(idx obj.Index) *obj.Fault {
+	d := m.Table.DescriptorAt(idx)
+	if d == nil {
+		return obj.Faultf(obj.FaultInvalidAD, obj.AD{Index: idx}, "no such object")
+	}
+	sroIdx := d.SRO
+	size := d.DataLen + d.AccessSlots*obj.ADSlotSize
+	if f := m.Table.DestroyIndex(idx); f != nil {
+		return f
+	}
+	if sroIdx != obj.NilIndex {
+		m.credit(sroIdx, size)
+	}
+	return nil
+}
+
+// DestroyHeap destroys the SRO and, in bulk, every live object allocated
+// from it — including child SROs and, recursively, their allocations. This
+// is the fast local-heap reclamation of §5/§8.1: no marking, no reference
+// tracing, just lifetime knowledge. It reports how many objects were
+// destroyed (excluding the SRO itself).
+func (m *Manager) DestroyHeap(sro obj.AD) (int, *obj.Fault) {
+	if _, f := m.Table.RequireType(sro, obj.TypeSRO); f != nil {
+		return 0, f
+	}
+	if !sro.Rights.Has(obj.RightDelete) {
+		return 0, obj.Faultf(obj.FaultRights, sro, "need delete right on SRO")
+	}
+	n := m.destroyAllocations(sro.Index)
+	if f := m.Reclaim(sro.Index); f != nil {
+		return n, f
+	}
+	return n, nil
+}
+
+func (m *Manager) destroyAllocations(sroIdx obj.Index) int {
+	var victims []obj.Index
+	m.Table.AliveBySRO(sroIdx, func(i obj.Index) { victims = append(victims, i) })
+	n := 0
+	for _, v := range victims {
+		d := m.Table.DescriptorAt(v)
+		if d == nil {
+			continue // already destroyed via a nested SRO
+		}
+		if d.Type == obj.TypeSRO {
+			n += m.destroyAllocations(v)
+		}
+		if m.Table.DestroyIndex(v) == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Usage reports the SRO's claim, bytes in use, and cumulative allocations.
+func (m *Manager) Usage(sro obj.AD) (claim, used, allocs uint32, f *obj.Fault) {
+	if _, f := m.Table.RequireType(sro, obj.TypeSRO); f != nil {
+		return 0, 0, 0, f
+	}
+	if claim, f = m.Table.ReadDWord(sro, offClaim); f != nil {
+		return
+	}
+	if used, f = m.Table.ReadDWord(sro, offUsed); f != nil {
+		return
+	}
+	allocs, f = m.Table.ReadDWord(sro, offAllocs)
+	return
+}
+
+// Level reports the level number of objects created from this SRO.
+func (m *Manager) Level(sro obj.AD) (obj.Level, *obj.Fault) {
+	if _, f := m.Table.RequireType(sro, obj.TypeSRO); f != nil {
+		return 0, f
+	}
+	l, f := m.Table.ReadWord(sro, offLevel)
+	return obj.Level(l), f
+}
+
+// Parent reports the SRO's parent capability, or NilAD for a root.
+func (m *Manager) Parent(sro obj.AD) (obj.AD, *obj.Fault) {
+	if _, f := m.Table.RequireType(sro, obj.TypeSRO); f != nil {
+		return obj.NilAD, f
+	}
+	return m.Table.LoadAD(sro, slotParent)
+}

@@ -1,0 +1,95 @@
+package sro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/obj"
+)
+
+// TestHeapTreeInvariant property-checks the SRO-tree story of §5 over
+// randomly built heap trees: levels are monotone down the tree, and
+// destroying any subtree root removes exactly its transitive population
+// and nothing else.
+func TestHeapTreeInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		tab := obj.NewTable(1 << 22)
+		m := NewManager(tab)
+		root, f := m.NewGlobalHeap(0)
+		if f != nil {
+			t.Fatal(f)
+		}
+
+		type node struct {
+			sro    obj.AD
+			parent int // index in nodes; -1 for root
+			level  obj.Level
+		}
+		nodes := []node{{sro: root, parent: -1, level: 0}}
+		objOwner := map[obj.Index]int{} // object -> owning node
+
+		// Grow a random tree with random allocations.
+		for step := 0; step < 60; step++ {
+			pi := rng.Intn(len(nodes))
+			parent := nodes[pi]
+			if rng.Intn(3) == 0 && len(nodes) < 12 {
+				level := parent.level + obj.Level(rng.Intn(3))
+				child, f := m.NewLocalHeap(parent.sro, level, 0)
+				if f != nil {
+					t.Fatal(f)
+				}
+				// Level monotonicity: children never shallower.
+				if got, _ := m.Level(child); got < parent.level {
+					t.Fatalf("child level %d below parent %d", got, parent.level)
+				}
+				nodes = append(nodes, node{sro: child, parent: pi, level: level})
+				continue
+			}
+			ad, f := m.Create(parent.sro, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: uint32(rng.Intn(256)) + 1})
+			if f != nil {
+				t.Fatal(f)
+			}
+			objOwner[ad.Index] = pi
+		}
+
+		// Pick a victim subtree (not the root) and destroy it.
+		if len(nodes) < 2 {
+			continue
+		}
+		victim := 1 + rng.Intn(len(nodes)-1)
+		inSubtree := func(ni int) bool {
+			for ni != -1 {
+				if ni == victim {
+					return true
+				}
+				ni = nodes[ni].parent
+			}
+			return false
+		}
+		if _, f := m.DestroyHeap(nodes[victim].sro); f != nil {
+			t.Fatal(f)
+		}
+		// Every object owned inside the subtree is gone; every object
+		// outside survives.
+		for idx, owner := range objOwner {
+			alive := tab.DescriptorAt(idx) != nil
+			if inSubtree(owner) && alive {
+				t.Fatalf("trial %d: subtree object survived", trial)
+			}
+			if !inSubtree(owner) && !alive {
+				t.Fatalf("trial %d: outside object destroyed", trial)
+			}
+		}
+		// SROs themselves: subtree SROs gone, others alive.
+		for ni, nd := range nodes {
+			alive := tab.DescriptorAt(nd.sro.Index) != nil
+			if inSubtree(ni) && alive {
+				t.Fatalf("trial %d: subtree SRO survived", trial)
+			}
+			if !inSubtree(ni) && !alive {
+				t.Fatalf("trial %d: outside SRO destroyed", trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package typedef implements type definition objects (TDOs): the 432's
+// mechanism for user-defined object types (§2, §7.2, §8.2 of the paper).
+//
+// A TDO is itself an object. Creating an instance through a TDO labels the
+// new object with the TDO's identity, and no matter what path such an
+// object follows — port, storage system, filing — "its hardware-recognized
+// type identity is guaranteed to be preserved and checked" (§7.2).
+//
+// The TDO also carries two pieces of manager policy:
+//
+//   - rights amplification: a type manager holding the amplify right on its
+//     TDO can raise the rights of a capability for one of its own instances
+//     (the classic sealed-object pattern: users hold weakened ADs, the
+//     manager amplifies on entry to its domain);
+//   - the destruction filter of §8.2: a manager may request that instances
+//     of its type be delivered to a port, rather than silently reclaimed,
+//     when the collector finds them to be garbage.
+package typedef
+
+import (
+	"repro/internal/obj"
+)
+
+// Type rights carried on TDO capabilities.
+const (
+	// RightCreate permits creating instances of the type.
+	RightCreate = obj.RightT1
+	// RightAmplify permits amplifying capabilities for instances.
+	RightAmplify = obj.RightT2
+	// RightRetype permits changing the destruction filter and other
+	// manager policy.
+	RightRetype = obj.RightT3
+)
+
+// TDO data-part layout (offsets in bytes). The name is stored inline so
+// that the type's identity survives object filing byte-for-byte.
+const (
+	offFlags   = 0  // word: bit0 = destruction filter armed
+	offNameLen = 2  // word: length of name
+	offName    = 4  // bytes: name, up to nameMax
+	nameMax    = 60 //
+	tdoDataLen = offName + nameMax
+
+	flagFilterArmed = 1 << 0
+)
+
+// TDO access-part slots.
+const (
+	slotFilterPort = 0 // port to which garbage instances are delivered
+	tdoSlots       = 1
+)
+
+// Manager wraps an object table with the TDO operations. It is stateless;
+// all state lives in the objects, so TDOs are first-class, storable and
+// filable like everything else.
+type Manager struct {
+	Table *obj.Table
+}
+
+// NewManager returns a TDO manager over the given object table.
+func NewManager(t *obj.Table) *Manager { return &Manager{Table: t} }
+
+// Define creates a new type definition object at the given level. The
+// returned capability carries all rights; the holder is the type manager
+// and hands out restricted copies.
+func (m *Manager) Define(name string, level obj.Level, sro obj.Index) (obj.AD, *obj.Fault) {
+	if len(name) > nameMax {
+		return obj.NilAD, obj.Faultf(obj.FaultBounds, obj.NilAD,
+			"type name %q exceeds %d bytes", name, nameMax)
+	}
+	tdo, f := m.Table.Create(obj.CreateSpec{
+		Type:        obj.TypeTDO,
+		Level:       level,
+		SRO:         sro,
+		DataLen:     tdoDataLen,
+		AccessSlots: tdoSlots,
+	})
+	if f != nil {
+		return obj.NilAD, f
+	}
+	if f := m.Table.WriteWord(tdo, offNameLen, uint16(len(name))); f != nil {
+		return obj.NilAD, f
+	}
+	if f := m.Table.WriteBytes(tdo, offName, []byte(name)); f != nil {
+		return obj.NilAD, f
+	}
+	return tdo, nil
+}
+
+// Name reports the type's name.
+func (m *Manager) Name(tdo obj.AD) (string, *obj.Fault) {
+	if _, f := m.Table.RequireType(tdo, obj.TypeTDO); f != nil {
+		return "", f
+	}
+	n, f := m.Table.ReadWord(tdo, offNameLen)
+	if f != nil {
+		return "", f
+	}
+	p, f := m.Table.ReadBytes(tdo, offName, uint32(n))
+	if f != nil {
+		return "", f
+	}
+	return string(p), nil
+}
+
+// CreateInstance creates an object labelled with the TDO's user type. The
+// caller must hold the create right on the TDO. The instance capability is
+// returned with all rights; the manager typically stores it and hands the
+// user a copy with only the rights the abstraction's interface needs.
+func (m *Manager) CreateInstance(tdo obj.AD, spec obj.CreateSpec) (obj.AD, *obj.Fault) {
+	if _, f := m.Table.RequireType(tdo, obj.TypeTDO); f != nil {
+		return obj.NilAD, f
+	}
+	if !tdo.Rights.Has(RightCreate) {
+		return obj.NilAD, obj.Faultf(obj.FaultRights, tdo, "need create right on TDO")
+	}
+	spec.UserType = tdo.Index
+	if spec.Type == obj.TypeInvalid {
+		spec.Type = obj.TypeGeneric
+	}
+	return m.Table.Create(spec)
+}
+
+// Is reports whether ad refers to an instance of the TDO's type. This is
+// the runtime type check the paper's dynamic-typing extensions rely on.
+func (m *Manager) Is(tdo obj.AD, ad obj.AD) (bool, *obj.Fault) {
+	if _, f := m.Table.RequireType(tdo, obj.TypeTDO); f != nil {
+		return false, f
+	}
+	ut, f := m.Table.UserTypeOf(ad)
+	if f != nil {
+		return false, f
+	}
+	return ut == tdo.Index, nil
+}
+
+// Amplify returns a copy of ad carrying the additional rights in grant.
+// Only the holder of the amplify right on the instance's own TDO may do
+// this: the protection structure guarantees that only the type manager can
+// open its own sealed objects (§4: "only this package has the necessary
+// access environment").
+func (m *Manager) Amplify(tdo obj.AD, ad obj.AD, grant obj.Rights) (obj.AD, *obj.Fault) {
+	if _, f := m.Table.RequireType(tdo, obj.TypeTDO); f != nil {
+		return obj.NilAD, f
+	}
+	if !tdo.Rights.Has(RightAmplify) {
+		return obj.NilAD, obj.Faultf(obj.FaultRights, tdo, "need amplify right on TDO")
+	}
+	ut, f := m.Table.UserTypeOf(ad)
+	if f != nil {
+		return obj.NilAD, f
+	}
+	if ut != tdo.Index {
+		return obj.NilAD, obj.Faultf(obj.FaultType, ad,
+			"object is not an instance of this TDO")
+	}
+	return ad.WithRights(ad.Rights | grant), nil
+}
+
+// ArmDestructionFilter registers port as the destination for instances of
+// this type that become garbage (§8.2). The collector, on finding a white
+// instance of a filtered type, manufactures an AD for it and sends it to
+// the port instead of reclaiming it. Requires the retype right.
+func (m *Manager) ArmDestructionFilter(tdo obj.AD, port obj.AD) *obj.Fault {
+	if _, f := m.Table.RequireType(tdo, obj.TypeTDO); f != nil {
+		return f
+	}
+	if !tdo.Rights.Has(RightRetype) {
+		return obj.Faultf(obj.FaultRights, tdo, "need retype right on TDO")
+	}
+	if _, f := m.Table.RequireType(port, obj.TypePort); f != nil {
+		return f
+	}
+	if f := m.Table.StoreAD(tdo, slotFilterPort, port); f != nil {
+		return f
+	}
+	flags, f := m.Table.ReadWord(tdo, offFlags)
+	if f != nil {
+		return f
+	}
+	return m.Table.WriteWord(tdo, offFlags, flags|flagFilterArmed)
+}
+
+// DisarmDestructionFilter removes the filter; garbage instances reclaim
+// normally again.
+func (m *Manager) DisarmDestructionFilter(tdo obj.AD) *obj.Fault {
+	if _, f := m.Table.RequireType(tdo, obj.TypeTDO); f != nil {
+		return f
+	}
+	if !tdo.Rights.Has(RightRetype) {
+		return obj.Faultf(obj.FaultRights, tdo, "need retype right on TDO")
+	}
+	if f := m.Table.StoreAD(tdo, slotFilterPort, obj.NilAD); f != nil {
+		return f
+	}
+	flags, f := m.Table.ReadWord(tdo, offFlags)
+	if f != nil {
+		return f
+	}
+	return m.Table.WriteWord(tdo, offFlags, flags&^flagFilterArmed)
+}
+
+// FilterPort reports the destruction-filter port of the TDO at index tdoIdx
+// and whether the filter is armed. The collector calls this below the
+// capability discipline (it holds no ADs), so it takes a raw index.
+func (m *Manager) FilterPort(tdoIdx obj.Index) (obj.AD, bool) {
+	d := m.Table.DescriptorAt(tdoIdx)
+	if d == nil || d.Type != obj.TypeTDO {
+		return obj.NilAD, false
+	}
+	// Read below the capability discipline, mirroring Referents.
+	tdoAD := obj.AD{Index: tdoIdx, Gen: d.Gen, Rights: obj.RightsAll}
+	flags, f := m.Table.ReadWord(tdoAD, offFlags)
+	if f != nil || flags&flagFilterArmed == 0 {
+		return obj.NilAD, false
+	}
+	port, f := m.Table.LoadAD(tdoAD, slotFilterPort)
+	if f != nil || !port.Valid() {
+		return obj.NilAD, false
+	}
+	return port, true
+}

@@ -1,0 +1,95 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCalibration(t *testing.T) {
+	// The two costs stated in the paper must survive refactoring:
+	// a full domain call/return pair is 65 µs, create-object is 80 µs.
+	if got := (CostDomainCall + CostDomainReturn).Microseconds(); got != 65.0 {
+		t.Errorf("domain switch = %v µs, paper says 65", got)
+	}
+	if got := CostCreateObject.Microseconds(); got != 80.0 {
+		t.Errorf("create object = %v µs, paper says 80", got)
+	}
+	// And the intra-domain baseline must stay cheaper than a domain
+	// switch or E1's comparison is meaningless.
+	if CostIntraCall+CostIntraReturn >= CostDomainCall+CostDomainReturn {
+		t.Error("intra-domain call must be cheaper than a domain switch")
+	}
+}
+
+func TestClockCharge(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock reads %v", c.Now())
+	}
+	if got := c.Charge(10); got != 10 {
+		t.Fatalf("Charge(10) = %v", got)
+	}
+	c.Charge(5)
+	if c.Now() != 15 {
+		t.Fatalf("Now() = %v, want 15", c.Now())
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	var c Clock
+	c.Charge(100)
+	if c.AdvanceTo(50) {
+		t.Error("AdvanceTo(50) moved a clock already at 100")
+	}
+	if c.Now() != 100 {
+		t.Errorf("clock ran backwards to %v", c.Now())
+	}
+	if !c.AdvanceTo(200) {
+		t.Error("AdvanceTo(200) did not move clock at 100")
+	}
+	if c.Now() != 200 {
+		t.Errorf("Now() = %v, want 200", c.Now())
+	}
+}
+
+func TestClockMonotone(t *testing.T) {
+	// Property: any sequence of Charge and AdvanceTo leaves the clock
+	// monotone non-decreasing.
+	f := func(ops []uint16) bool {
+		var c Clock
+		prev := c.Now()
+		for i, op := range ops {
+			if i%2 == 0 {
+				c.Charge(Cycles(op))
+			} else {
+				c.AdvanceTo(Cycles(op))
+			}
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max(3, 5) != 5 || Max(5, 3) != 5 || Max(4, 4) != 4 {
+		t.Error("Max is wrong")
+	}
+}
+
+func TestMicroseconds(t *testing.T) {
+	if got := Cycles(8).Microseconds(); got != 1.0 {
+		t.Errorf("8 cycles at 8 MHz = %v µs, want 1", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Cycles(520).String(); got != "520cy (65.00µs)" {
+		t.Errorf("String() = %q", got)
+	}
+}
