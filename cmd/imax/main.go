@@ -6,8 +6,14 @@
 // Usage:
 //
 //	imax [-cpus N] [-mem BYTES] [-swapping] [-gc] [-demo NAME]
+//	     [-trace] [-audit] [-itrace N] [-inspect]
 //
 // Demos: ports (default), compute, gc, io.
+//
+// -trace enables the kernel event log and prints its counters and tail
+// after the workload; -audit runs the cross-subsystem invariant auditor
+// and exits non-zero on any violation; -itrace prints the first N executed
+// instructions.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/gdp"
 	"repro/internal/inspect"
@@ -33,7 +40,9 @@ func main() {
 	gcOn := flag.Bool("gc", true, "run the on-the-fly collector daemon")
 	demo := flag.String("demo", "ports", "workload: ports | compute | gc | io")
 	inspectFlag := flag.Bool("inspect", false, "dump the object population after the workload")
-	trace := flag.Int("trace", 0, "print the first N executed instructions")
+	traceFlag := flag.Bool("trace", false, "enable the kernel event log; print counters and tail at exit")
+	auditFlag := flag.Bool("audit", false, "run the invariant auditor at exit; non-zero on violations")
+	itrace := flag.Int("itrace", 0, "print the first N executed instructions")
 	flag.Parse()
 
 	im, err := core.Boot(core.Config{
@@ -42,6 +51,7 @@ func main() {
 		Swapping:    *swapping,
 		GC:          *gcOn,
 		Filing:      true,
+		Trace:       *traceFlag,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -49,8 +59,8 @@ func main() {
 	fmt.Printf("iMAX-432: %d processors, %d KB memory, %s memory manager, gc=%v\n\n",
 		*cpus, *mem/1024, im.MM.Name(), *gcOn)
 
-	if *trace > 0 {
-		remaining := *trace
+	if *itrace > 0 {
+		remaining := *itrace
 		im.Trace = func(cpu int, proc obj.AD, ev gdp.TraceEvent) {
 			if remaining <= 0 {
 				return
@@ -90,6 +100,17 @@ func main() {
 	if *inspectFlag {
 		fmt.Println()
 		inspect.Take(im.Table).Write(os.Stdout)
+	}
+	if *traceFlag {
+		fmt.Println()
+		inspect.WriteTrace(os.Stdout, im.TraceLog, 20)
+	}
+	if *auditFlag {
+		fmt.Println()
+		a := audit.New(im.System).WithGC(im.Collector)
+		if inspect.WriteAudit(os.Stdout, a.CheckAll()) > 0 {
+			os.Exit(1)
+		}
 	}
 }
 

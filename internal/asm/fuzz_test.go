@@ -1,0 +1,112 @@
+package asm
+
+import (
+	"reflect"
+	"testing"
+)
+
+// seedPrograms are real programs from the test suites and demos — the
+// corpus starts from source the assembler is actually used on.
+var seedPrograms = []string{
+	`
+	; a countdown loop
+	        movi  r4, 3
+	loop:   addi  r4, r4, -1
+	        brnz  r4, loop
+	        halt
+	`,
+	`
+	; sum 1..10 into the object in a0
+	        movi  r1, 10
+	        movi  r0, 0
+	loop:   add   r0, r0, r1
+	        addi  r1, r1, -1
+	        brnz  r1, loop
+	        store r0, a0, 0
+	        halt
+	`,
+	`
+	; token relay: receive, increment, pass on
+	        movi  r4, 10
+	loop:   recv  r1, a2
+	        load  r0, a1, 0
+	        addi  r0, r0, 1
+	        store r0, a1, 0
+	        movi  r5, 0
+	        send  a1, a3, r5
+	        addi  r4, r4, -1
+	        brnz  r4, loop
+	        halt
+	`,
+	`
+	; allocation churn
+	        movi   r4, 2000
+	        movi   r2, 256
+	        movi   r3, 2
+	loop:   create a1, a0, r2
+	        addi   r4, r4, -1
+	        brnz   r4, loop
+	        halt
+	`,
+	`
+	; every mnemonic once
+	        nop
+	        movi   r0, 0x10
+	        mov    r1, r0
+	        add    r2, r1, r0
+	        addi   r2, r2, 5
+	        sub    r3, r2, r1
+	        mul    r3, r3, r2
+	        br     next
+	next:   brz    r0, next
+	        brnz   r1, next
+	        brlt   r0, r1, next
+	        load   r4, a1, 8
+	        store  r4, a1, 12
+	        loada  a2, a1, 0
+	        storea a2, a1, 1
+	        mova   a3, a2
+	        create a1, a0, r2
+	        send   a1, a2, r5
+	        recv   a1, a2
+	        csend  a1, a2, r6
+	        crecv  a1, a2, r6
+	        call   a1, 2
+	        calll  1
+	        ret
+	        typeof r7, a1
+	        amplify a1, a2, 3
+	        istype r6, a1, a2
+	        fault  5
+	        halt
+	`,
+	"movi r0, -1\nbr 7\nhalt",
+	"movi r0, 4294967295\nhalt",
+}
+
+// FuzzAssembleDisassemble checks the assembler/disassembler round trip:
+// any source that assembles must disassemble to source that reassembles
+// to the identical instruction sequence, and the disassembly itself must
+// be a fixpoint (printing is canonical).
+func FuzzAssembleDisassemble(f *testing.F) {
+	for _, s := range seedPrograms {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return // rejected source is out of scope; diagnostics have their own tests
+		}
+		dis := Disassemble(p.Instrs)
+		p2, err := Assemble(dis)
+		if err != nil {
+			t.Fatalf("disassembly does not reassemble: %v\nsource:\n%s\ndisassembly:\n%s", err, src, dis)
+		}
+		if !reflect.DeepEqual(p.Instrs, p2.Instrs) {
+			t.Fatalf("round trip changed the program\nsource:\n%s\nfirst:  %v\nsecond: %v", src, p.Instrs, p2.Instrs)
+		}
+		if dis2 := Disassemble(p2.Instrs); dis2 != dis {
+			t.Fatalf("disassembly is not a fixpoint\nfirst:\n%s\nsecond:\n%s", dis, dis2)
+		}
+	})
+}

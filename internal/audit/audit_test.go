@@ -1,0 +1,229 @@
+package audit_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/gdp"
+	"repro/internal/obj"
+	"repro/internal/port"
+	"repro/internal/process"
+	"repro/internal/vtime"
+	"repro/internal/workload"
+)
+
+func newSystem(t *testing.T, cpus int) *gdp.System {
+	t.Helper()
+	sys, err := gdp.New(gdp.Config{Processors: cpus, MemoryBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("gdp.New: %v", err)
+	}
+	return sys
+}
+
+func mustClean(t *testing.T, a *audit.Auditor) {
+	t.Helper()
+	for _, v := range a.CheckAll() {
+		t.Errorf("unexpected violation: %s", v)
+	}
+}
+
+// hasViolation reports whether some violation from the subsystem mentions
+// the substring.
+func hasViolation(vs []audit.Violation, subsystem, substr string) bool {
+	for _, v := range vs {
+		if v.Subsystem == subsystem && strings.Contains(v.Msg, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func dump(vs []audit.Violation) string {
+	var b strings.Builder
+	for _, v := range vs {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	if b.Len() == 0 {
+		return "  (none)"
+	}
+	return b.String()
+}
+
+func TestFreshSystemIsClean(t *testing.T) {
+	sys := newSystem(t, 2)
+	mustClean(t, audit.New(sys))
+}
+
+// TestWorkloadStaysClean audits a live system repeatedly while a mixed
+// workload runs: every invariant must hold between any two scheduler
+// steps, not just at quiescence.
+func TestWorkloadStaysClean(t *testing.T) {
+	sys := newSystem(t, 2)
+	h, f := workload.Pipeline(sys, 3, 16, 2, 500)
+	if f != nil {
+		t.Fatalf("pipeline: %v", f)
+	}
+	if _, f := workload.Compute(sys, 2, 50, 300); f != nil {
+		t.Fatalf("compute: %v", f)
+	}
+	a := audit.New(sys)
+	for i := 0; i < 4000 && !h.Done(sys); i++ {
+		if _, f := sys.Step(400); f != nil {
+			t.Fatalf("step %d: %v", i, f)
+		}
+		if i%100 == 0 {
+			if vs := a.CheckAll(); len(vs) != 0 {
+				t.Fatalf("violations at step %d:\n%s", i, dump(vs))
+			}
+		}
+	}
+	mustClean(t, a)
+	audit.Check(t, sys)
+}
+
+func TestDetectsCorruptType(t *testing.T) {
+	sys := newSystem(t, 1)
+	ad, f := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+	if f != nil {
+		t.Fatalf("create: %v", f)
+	}
+	sys.Table.DescriptorAt(ad.Index).Type = obj.TypeInvalid
+	vs := audit.New(sys).CheckObjects()
+	if !hasViolation(vs, "obj", "invalid hardware type") {
+		t.Fatalf("corrupt type not flagged:\n%s", dump(vs))
+	}
+}
+
+func TestDetectsDanglingAncestralSRO(t *testing.T) {
+	sys := newSystem(t, 1)
+	ad, f := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+	if f != nil {
+		t.Fatalf("create: %v", f)
+	}
+	sys.Table.DescriptorAt(ad.Index).SRO = obj.Index(sys.Table.Len() - 1)
+	vs := audit.New(sys).CheckObjects()
+	if !hasViolation(vs, "obj", "ancestral SRO") {
+		t.Fatalf("dangling SRO field not flagged:\n%s", dump(vs))
+	}
+}
+
+func TestDetectsSROAccountingDrift(t *testing.T) {
+	sys := newSystem(t, 1)
+	ad, f := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 64})
+	if f != nil {
+		t.Fatalf("create: %v", f)
+	}
+	// Shrink the recorded footprint without crediting the SRO: the heap's
+	// used counter no longer matches the sum of its live allocations.
+	sys.Table.DescriptorAt(ad.Index).DataLen -= 16
+	vs := audit.New(sys).CheckSROs()
+	if !hasViolation(vs, "sro", "live allocations sum") {
+		t.Fatalf("accounting drift not flagged:\n%s", dump(vs))
+	}
+}
+
+func TestDetectsTricolorBreach(t *testing.T) {
+	sys := newSystem(t, 1)
+	a, f := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, AccessSlots: 2})
+	if f != nil {
+		t.Fatalf("create a: %v", f)
+	}
+	b, f := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+	if f != nil {
+		t.Fatalf("create b: %v", f)
+	}
+	if f := sys.Table.StoreAD(a, 0, b); f != nil {
+		t.Fatalf("store: %v", f)
+	}
+	// Paint a black-to-white edge behind the write barrier's back.
+	sys.Table.SetColor(a.Index, obj.Black)
+	sys.Table.SetColor(b.Index, obj.White)
+	vs := audit.New(sys).CheckTricolor()
+	if !hasViolation(vs, "gc", "black object references white") {
+		t.Fatalf("tricolor breach not flagged:\n%s", dump(vs))
+	}
+}
+
+func TestDetectsWhitePinnedRoot(t *testing.T) {
+	sys := newSystem(t, 1)
+	ad, f := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8, Pinned: true})
+	if f != nil {
+		t.Fatalf("create: %v", f)
+	}
+	sys.Table.SetColor(ad.Index, obj.White)
+	vs := audit.New(sys).CheckTricolor()
+	if !hasViolation(vs, "gc", "pinned root is white") {
+		t.Fatalf("white pinned root not flagged:\n%s", dump(vs))
+	}
+}
+
+func TestDetectsDanglingQueuedMessage(t *testing.T) {
+	sys := newSystem(t, 1)
+	p, f := sys.Ports.Create(sys.Heap, 2, port.FIFO)
+	if f != nil {
+		t.Fatalf("port: %v", f)
+	}
+	msg, f := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+	if f != nil {
+		t.Fatalf("msg: %v", f)
+	}
+	if blocked, _, f := sys.Ports.Send(p, msg, 0, obj.NilAD); f != nil || blocked {
+		t.Fatalf("send: blocked=%v fault=%v", blocked, f)
+	}
+	// Destroy the message out from under the queue.
+	if f := sys.Table.DestroyIndex(msg.Index); f != nil {
+		t.Fatalf("destroy: %v", f)
+	}
+	vs := audit.New(sys).CheckPorts()
+	if !hasViolation(vs, "port", "dangles") {
+		t.Fatalf("dangling queued message not flagged:\n%s", dump(vs))
+	}
+}
+
+func TestDetectsRunningUnboundProcess(t *testing.T) {
+	sys := newSystem(t, 1)
+	p, f := sys.SpawnNative(
+		gdp.NativeBodyFunc(func(*gdp.System, obj.AD) (vtime.Cycles, gdp.BodyStatus, *obj.Fault) {
+			return 0, gdp.BodyDone, nil
+		}), gdp.SpawnSpec{})
+	if f != nil {
+		t.Fatalf("spawn: %v", f)
+	}
+	// Claim the process is running while no processor has it bound.
+	if f := sys.Procs.SetState(p, process.StateRunning); f != nil {
+		t.Fatalf("set state: %v", f)
+	}
+	vs := audit.New(sys).CheckScheduler()
+	if !hasViolation(vs, "sched", "running process bound to 0") {
+		t.Fatalf("running-unbound not flagged:\n%s", dump(vs))
+	}
+}
+
+// recorder is a TB that records instead of failing, to test Check itself.
+type recorder struct{ errs []string }
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errs = append(r.errs, fmt.Sprintf(format, args...))
+}
+
+func TestCheckReportsThroughTB(t *testing.T) {
+	sys := newSystem(t, 1)
+	ad, f := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+	if f != nil {
+		t.Fatalf("create: %v", f)
+	}
+	var r recorder
+	audit.Check(&r, sys)
+	if len(r.errs) != 0 {
+		t.Fatalf("clean system reported: %v", r.errs)
+	}
+	sys.Table.DescriptorAt(ad.Index).Type = obj.TypeInvalid
+	audit.Check(&r, sys)
+	if len(r.errs) == 0 {
+		t.Fatal("corruption not reported through TB")
+	}
+}

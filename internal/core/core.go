@@ -31,6 +31,7 @@ import (
 	"repro/internal/pm"
 	"repro/internal/port"
 	"repro/internal/process"
+	"repro/internal/trace"
 	"repro/internal/typedef"
 	"repro/internal/vtime"
 )
@@ -71,6 +72,12 @@ type Config struct {
 
 	// Filing enables the object filing store (§7.2).
 	Filing bool
+
+	// Trace enables the kernel event log (internal/trace) on the whole
+	// system. When false, every hook site costs a single nil check.
+	Trace bool
+	// TraceCapacity bounds the event ring; 0 means trace.DefaultCapacity.
+	TraceCapacity int
 }
 
 // IMAX is a configured, running system.
@@ -103,6 +110,10 @@ type IMAX struct {
 	// here (and everything they reach) survive collection.
 	Directory obj.AD
 
+	// TraceLog is the kernel event log when tracing was configured, else
+	// nil (a nil log is a valid always-disabled sink).
+	TraceLog *trace.Log
+
 	levels map[obj.Index]SystemLevel
 }
 
@@ -121,6 +132,10 @@ func Boot(cfg Config) (*IMAX, error) {
 		levels: make(map[obj.Index]SystemLevel),
 	}
 	im.PM = pm.NewBasic(sys)
+	if cfg.Trace {
+		im.TraceLog = trace.New(cfg.TraceCapacity)
+		sys.SetTracer(im.TraceLog)
+	}
 
 	dir, f := sys.SROs.Create(sys.Heap, obj.CreateSpec{
 		Type:        obj.TypeGeneric,

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/audit"
 	"repro/internal/gdp"
 	"repro/internal/iosys"
 	"repro/internal/isa"
@@ -151,6 +152,9 @@ func TestEverythingAtOnce(t *testing.T) {
 			t.Fatal(f)
 		}
 	}
+	// Mid-flight, with processes parked at ports and the collector between
+	// phases, every cross-subsystem invariant must already hold.
+	audit.CheckWith(t, audit.New(im.System).WithGC(im.Collector))
 	if f := basic.Stop(root); f != nil {
 		t.Fatal(f)
 	}
@@ -206,10 +210,12 @@ func TestEverythingAtOnce(t *testing.T) {
 	if recovered != 40 {
 		t.Fatalf("recovered %d of 40 widgets", recovered)
 	}
-	// No level-discipline violations anywhere in the run.
+	// No level-discipline violations anywhere in the run, and the settled
+	// system passes the full invariant audit.
 	if v := im.CheckLevels(); len(v) != 0 {
 		t.Fatalf("level violations: %v", v)
 	}
+	audit.CheckWith(t, audit.New(im.System).WithGC(im.Collector))
 }
 
 func mustProg(t *testing.T, im *IMAX, prog []isa.Instr) obj.AD {

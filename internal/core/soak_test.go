@@ -4,10 +4,12 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/audit"
 	"repro/internal/inspect"
 	"repro/internal/obj"
 	"repro/internal/port"
 	"repro/internal/process"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -35,10 +37,12 @@ func TestSoak(t *testing.T) {
 		GCWork:      48,
 		GCInterval:  40_000,
 		Filing:      true,
+		Trace:       true, // the soak also exercises every trace hook
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	auditor := audit.New(im.System).WithGC(im.Collector)
 
 	// A filtered type losing instances throughout.
 	tdo, _ := im.TDOs.Define("soak_widget", obj.LevelGlobal, obj.NilIndex)
@@ -82,6 +86,16 @@ func TestSoak(t *testing.T) {
 	for step := 0; step < 3_000; step++ {
 		if _, f := im.Step(2_000); f != nil {
 			t.Fatalf("step %d: %v", step, f)
+		}
+		// The invariants must hold between any two steps, not just at
+		// quiescence — audit the live system periodically.
+		if step%500 == 499 {
+			if vs := auditor.CheckAll(); len(vs) != 0 {
+				for _, v := range vs {
+					t.Errorf("audit at step %d: %s", step, v)
+				}
+				t.FailNow()
+			}
 		}
 		switch rng.Intn(40) {
 		case 0: // lose a widget
@@ -161,5 +175,17 @@ func TestSoak(t *testing.T) {
 	}
 	if snap.UsedBytes == 0 || snap.Pinned == 0 {
 		t.Errorf("snapshot empty: %+v", snap)
+	}
+	// The full cross-subsystem audit at quiescence, and the trace log saw
+	// traffic from every corner of the run.
+	audit.CheckWith(t, auditor)
+	for _, k := range []trace.Kind{
+		trace.EvObjCreate, trace.EvADStore, trace.EvSend, trace.EvRecv,
+		trace.EvPark, trace.EvUnpark, trace.EvGCPhase, trace.EvGCReclaim,
+		trace.EvDispatch, trace.EvProcState, trace.EvTerminate,
+	} {
+		if im.TraceLog.Count(k) == 0 {
+			t.Errorf("soak emitted no %v events", k)
+		}
 	}
 }

@@ -30,7 +30,20 @@ func runE4() (*Result, error) {
 		return tab, s, port.NewManager(tab, s), heap
 	}
 
-	benchUntyped := testing.Benchmark(func(b *testing.B) {
+	// Wall-clock noise (other tests sharing the machine) can swamp the
+	// few-nanosecond gap between the layers; the minimum of several runs
+	// is the least-perturbed measurement of each.
+	minBench := func(fn func(b *testing.B)) float64 {
+		best := float64(testing.Benchmark(fn).NsPerOp())
+		for i := 0; i < 2; i++ {
+			if ns := float64(testing.Benchmark(fn).NsPerOp()); ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+
+	un := minBench(func(b *testing.B) {
 		_, s, pm, heap := build()
 		u, f := ipc.CreateUntyped(pm, heap, 8, port.FIFO)
 		if f != nil {
@@ -48,7 +61,7 @@ func runE4() (*Result, error) {
 		}
 	})
 
-	benchTyped := testing.Benchmark(func(b *testing.B) {
+	ty := minBench(func(b *testing.B) {
 		_, s, pm, heap := build()
 		tp, f := ipc.CreateTyped[tapeMsg](pm, heap, 8, port.FIFO)
 		if f != nil {
@@ -67,7 +80,7 @@ func runE4() (*Result, error) {
 		}
 	})
 
-	benchChecked := testing.Benchmark(func(b *testing.B) {
+	ck := minBench(func(b *testing.B) {
 		tab, s, pm, heap := build()
 		td := typedef.NewManager(tab)
 		tdo, f := td.Define("bench_msg", obj.LevelGlobal, obj.NilIndex)
@@ -94,9 +107,6 @@ func runE4() (*Result, error) {
 		}
 	})
 
-	un := float64(benchUntyped.NsPerOp())
-	ty := float64(benchTyped.NsPerOp())
-	ck := float64(benchChecked.NsPerOp())
 	overheadTyped := (ty - un) / un * 100
 	overheadChecked := (ck - un) / un * 100
 

@@ -28,6 +28,7 @@ import (
 	"repro/internal/obj"
 	"repro/internal/port"
 	"repro/internal/sro"
+	"repro/internal/trace"
 	"repro/internal/typedef"
 	"repro/internal/vtime"
 )
@@ -99,6 +100,14 @@ func New(t *obj.Table, s *sro.Manager, p *port.Manager, td *typedef.Manager) *Co
 // Phase reports the collector's current phase.
 func (c *Collector) Phase() Phase { return c.phase }
 
+// setPhase moves the machine to a new phase, tracing the transition.
+func (c *Collector) setPhase(p Phase) {
+	c.phase = p
+	if l := c.Table.Tracer(); l != nil {
+		l.Emit(trace.EvGCPhase, uint32(p), 0, 0)
+	}
+}
+
 // Stats reports cumulative counters.
 func (c *Collector) Stats() Stats { return c.stats }
 
@@ -148,13 +157,13 @@ func (c *Collector) Collect() (vtime.Cycles, *obj.Fault) {
 func (c *Collector) step1() (vtime.Cycles, bool, *obj.Fault) {
 	switch c.phase {
 	case PhaseIdle:
-		c.phase = PhaseWhiten
+		c.setPhase(PhaseWhiten)
 		c.cursor = 1
 		return vtime.CostGCSweepStep, false, nil
 
 	case PhaseWhiten:
 		if c.cursor >= c.Table.Len() {
-			c.phase = PhaseRoot
+			c.setPhase(PhaseRoot)
 			c.cursor = 1
 			return vtime.CostGCSweepStep, false, nil
 		}
@@ -167,7 +176,7 @@ func (c *Collector) step1() (vtime.Cycles, bool, *obj.Fault) {
 
 	case PhaseRoot:
 		if c.cursor >= c.Table.Len() {
-			c.phase = PhaseMark
+			c.setPhase(PhaseMark)
 			c.cursor = 1
 			c.foundGray = false
 			return vtime.CostGCSweepStep, false, nil
@@ -183,7 +192,7 @@ func (c *Collector) step1() (vtime.Cycles, bool, *obj.Fault) {
 		if c.cursor >= c.Table.Len() {
 			c.stats.Passes++
 			if !c.foundGray {
-				c.phase = PhaseSweep
+				c.setPhase(PhaseSweep)
 				c.cursor = 1
 				return vtime.CostGCMarkStep, false, nil
 			}
@@ -216,11 +225,14 @@ func (c *Collector) step1() (vtime.Cycles, bool, *obj.Fault) {
 		}
 		c.Table.SetColor(idx, obj.Black)
 		c.stats.Marked++
+		if l := c.Table.Tracer(); l != nil {
+			l.Emit(trace.EvGCMark, uint32(idx), 0, 0)
+		}
 		return vtime.CostGCMarkStep, false, nil
 
 	case PhaseSweep:
 		if c.cursor >= c.Table.Len() {
-			c.phase = PhaseIdle
+			c.setPhase(PhaseIdle)
 			c.stats.Cycles++
 			return vtime.CostGCSweepStep, true, nil
 		}
@@ -255,6 +267,9 @@ func (c *Collector) disposeWhite(idx obj.Index) (vtime.Cycles, bool, *obj.Fault)
 				d.Finalized = true
 				c.Table.SetColor(idx, obj.Black)
 				c.stats.Filtered++
+				if l := c.Table.Tracer(); l != nil {
+					l.Emit(trace.EvGCFilter, uint32(idx), uint32(d.UserType), 0)
+				}
 				// A type manager blocked on its filter port
 				// wakes through the normal machinery; the
 				// caller of Step cannot requeue processes, so
@@ -274,6 +289,9 @@ func (c *Collector) disposeWhite(idx obj.Index) (vtime.Cycles, bool, *obj.Fault)
 		return vtime.CostGCSweepStep, false, f
 	}
 	c.stats.Reclaimed++
+	if l := c.Table.Tracer(); l != nil {
+		l.Emit(trace.EvGCReclaim, uint32(idx), 0, 0)
+	}
 	return vtime.CostGCSweepStep, false, nil
 }
 

@@ -3,6 +3,7 @@ package gdp
 import (
 	"repro/internal/obj"
 	"repro/internal/process"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -33,6 +34,13 @@ func (c *CPU) Idle() bool { return !c.proc.Valid() }
 // Current reports the bound process.
 func (c *CPU) Current() obj.AD { return c.proc }
 
+// CurrentSlot reports the process recorded in the processor object's
+// current-process root slot. The collector scans this slot; the invariant
+// auditor compares it against the on-chip binding (Current).
+func (c *CPU) CurrentSlot(s *System) (obj.AD, *obj.Fault) {
+	return s.Table.LoadAD(c.Obj, cpuSlotCurrent)
+}
+
 // bind attaches a ready process to the processor: the implicit hardware
 // dispatch of §5 ("ready processes are dispatched on processors
 // automatically").
@@ -49,6 +57,9 @@ func (c *CPU) bind(s *System, p obj.AD) *obj.Fault {
 	c.sliceLeft = vtime.Cycles(ts)
 	c.Dispatches++
 	s.dispatches++
+	if l := s.Table.Tracer(); l != nil {
+		l.Emit(trace.EvDispatch, uint32(p.Index), uint32(c.ID), 0)
+	}
 	// The processor object names its current process so the collector
 	// sees running processes as roots.
 	return s.Table.StoreADSystem(c.Obj, cpuSlotCurrent, p)

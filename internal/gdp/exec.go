@@ -7,6 +7,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/obj"
 	"repro/internal/process"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -180,6 +181,9 @@ func (s *System) stepNative(cpu *CPU, body NativeBody, quantum vtime.Cycles) *ob
 		if cpu.sliceLeft > 0 {
 			if spent >= cpu.sliceLeft {
 				s.preemptions++
+				if l := s.Table.Tracer(); l != nil {
+					l.Emit(trace.EvPreempt, uint32(proc.Index), uint32(cpu.ID), 0)
+				}
 				if f := cpu.unbind(s); f != nil {
 					return f
 				}
@@ -226,6 +230,9 @@ func (s *System) stepVM(cpu *CPU, quantum vtime.Cycles) *obj.Fault {
 				// (§5: "such events as time-slice end").
 				proc := cpu.proc
 				s.preemptions++
+				if l := s.Table.Tracer(); l != nil {
+					l.Emit(trace.EvPreempt, uint32(proc.Index), uint32(cpu.ID), 0)
+				}
 				if f := cpu.unbind(s); f != nil {
 					return f
 				}
@@ -774,6 +781,9 @@ func (s *System) terminate(cpu *CPU, proc obj.AD) *obj.Fault {
 	if f := s.Procs.SetState(proc, process.StateTerminated); f != nil {
 		return f
 	}
+	if l := s.Table.Tracer(); l != nil {
+		l.Emit(trace.EvTerminate, uint32(proc.Index), 0, 0)
+	}
 	s.notifyScheduler(proc)
 	if cpu != nil && cpu.proc == proc {
 		return cpu.unbind(s)
@@ -788,6 +798,9 @@ func (s *System) terminate(cpu *CPU, proc obj.AD) *obj.Fault {
 // allowed to reach here at all.
 func (s *System) deliverFault(cpu *CPU, proc obj.AD, cause *obj.Fault) *obj.Fault {
 	cpu.Clock.Charge(vtime.CostFault)
+	if l := s.Table.Tracer(); l != nil {
+		l.Emit(trace.EvFault, uint32(proc.Index), uint32(cause.Code), uint64(cause.AD.Index))
+	}
 	if f := s.Procs.SetFaultCode(proc, cause.Code); f != nil {
 		return f
 	}

@@ -3,6 +3,7 @@ package gdp
 import (
 	"repro/internal/obj"
 	"repro/internal/process"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -95,6 +96,9 @@ func (s *System) fireTimers(now vtime.Cycles) *obj.Fault {
 		p := t.proc
 		if _, f := s.Table.RequireType(p, obj.TypeProcess); f != nil {
 			continue // process since collected
+		}
+		if l := s.Table.Tracer(); l != nil {
+			l.Emit(trace.EvTimer, uint32(p.Index), 0, uint64(t.at))
 		}
 		st, f := s.Procs.StateOf(p)
 		if f != nil || st == process.StateTerminated {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/port"
 	"repro/internal/process"
 	"repro/internal/sro"
+	"repro/internal/trace"
 	"repro/internal/typedef"
 	"repro/internal/vtime"
 )
@@ -288,6 +289,9 @@ func (s *System) Spawn(dom obj.AD, spec SpawnSpec) (obj.AD, *obj.Fault) {
 	if f := s.MakeReady(p); f != nil {
 		return obj.NilAD, f
 	}
+	if l := s.Table.Tracer(); l != nil {
+		l.Emit(trace.EvSpawn, uint32(p.Index), 0, 0)
+	}
 	return p, nil
 }
 
@@ -313,6 +317,9 @@ func (s *System) SpawnNative(body NativeBody, spec SpawnSpec) (obj.AD, *obj.Faul
 	s.bodies[p.Index] = bodyReg{gen: d.Gen, body: body}
 	if f := s.MakeReady(p); f != nil {
 		return obj.NilAD, f
+	}
+	if l := s.Table.Tracer(); l != nil {
+		l.Emit(trace.EvSpawn, uint32(p.Index), 1, 0)
 	}
 	return p, nil
 }
@@ -383,6 +390,14 @@ func (s *System) MakeReady(p obj.AD) *obj.Fault {
 	}
 	return nil
 }
+
+// SetTracer installs the kernel event log on the system and its object
+// table; every subsystem built over the table picks it up from there. Pass
+// nil to disable tracing.
+func (s *System) SetTracer(l *trace.Log) { s.Table.SetTracer(l) }
+
+// Tracer reports the installed kernel event log, possibly nil.
+func (s *System) Tracer() *trace.Log { return s.Table.Tracer() }
 
 // Stats reports system-wide event counts.
 type Stats struct {

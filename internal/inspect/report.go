@@ -1,0 +1,45 @@
+package inspect
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/audit"
+	"repro/internal/trace"
+)
+
+// WriteTrace renders a kernel event log: the per-kind counters followed by
+// the most recent `last` events (0 means all retained events). A nil log
+// prints a note and nothing else, so callers need not guard.
+func WriteTrace(w io.Writer, l *trace.Log, last int) {
+	if !l.Enabled() {
+		fmt.Fprintln(w, "trace: disabled")
+		return
+	}
+	fmt.Fprintf(w, "trace: %d events emitted\n", l.Seq())
+	l.WriteCounts(w)
+	evs := l.Events()
+	if last > 0 && len(evs) > last {
+		fmt.Fprintf(w, "last %d events:\n", last)
+		evs = evs[len(evs)-last:]
+	} else if len(evs) > 0 {
+		fmt.Fprintf(w, "retained %d events:\n", len(evs))
+	}
+	for _, e := range evs {
+		fmt.Fprintf(w, "  %s\n", e)
+	}
+}
+
+// WriteAudit renders an invariant-audit result and returns the violation
+// count (zero for a clean system).
+func WriteAudit(w io.Writer, vs []audit.Violation) int {
+	if len(vs) == 0 {
+		fmt.Fprintln(w, "audit: all invariants hold")
+		return 0
+	}
+	fmt.Fprintf(w, "audit: %d violations\n", len(vs))
+	for _, v := range vs {
+		fmt.Fprintf(w, "  %s\n", v)
+	}
+	return len(vs)
+}

@@ -5,6 +5,8 @@ package obj
 // methods, so a capability's rights and its object's bounds are enforced on
 // every reference, exactly the per-reference hardware checking of §7.1.
 
+import "repro/internal/trace"
+
 // ReadByteAt reads the byte at displacement off in the data part.
 func (t *Table) ReadByteAt(a AD, off uint32) (byte, *Fault) {
 	d, f := t.resolvePresent(a, RightRead)
@@ -161,6 +163,9 @@ func (t *Table) StoreAD(dst AD, slot uint32, src AD) *Fault {
 		if sd.Color == White {
 			sd.Color = Gray
 			t.grayings++
+			if l := t.tr; l != nil {
+				l.Emit(trace.EvGray, uint32(src.Index), 0, 0)
+			}
 		}
 		// A freshly stored reference re-adopts the object: it gets a
 		// new destruction-filter life (§8.2). The collector's own
@@ -176,6 +181,9 @@ func (t *Table) StoreAD(dst AD, slot uint32, src AD) *Fault {
 		return Faultf(FaultOddity, dst, "%v", err)
 	}
 	t.adStores++
+	if l := t.tr; l != nil {
+		l.Emit(trace.EvADStore, uint32(dst.Index), uint32(src.Index), uint64(slot))
+	}
 	return nil
 }
 
@@ -209,6 +217,9 @@ func (t *Table) StoreADSystem(dst AD, slot uint32, src AD) *Fault {
 		if sd.Color == White {
 			sd.Color = Gray
 			t.grayings++
+			if l := t.tr; l != nil {
+				l.Emit(trace.EvGray, uint32(src.Index), 0, 0)
+			}
 		}
 		sd.Finalized = false // see StoreAD: storing re-adopts
 	}
@@ -220,5 +231,8 @@ func (t *Table) StoreADSystem(dst AD, slot uint32, src AD) *Fault {
 		return Faultf(FaultOddity, dst, "%v", err)
 	}
 	t.adStores++
+	if l := t.tr; l != nil {
+		l.Emit(trace.EvADStore, uint32(dst.Index), uint32(src.Index), uint64(slot))
+	}
 	return nil
 }

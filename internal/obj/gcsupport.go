@@ -1,6 +1,9 @@
 package obj
 
-import "repro/internal/mem"
+import (
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
 
 // Collector and memory-manager support. These entry points sit below the
 // capability discipline — they are the part of the "hardware" that the
@@ -121,6 +124,9 @@ func (t *Table) SwapOut(idx Index, token uint64) *Fault {
 	}
 	d.SwappedOut = true
 	d.SwapToken = token
+	if l := t.tr; l != nil {
+		l.Emit(trace.EvSwapOut, uint32(idx), 0, token)
+	}
 	return nil
 }
 
@@ -153,5 +159,8 @@ func (t *Table) SwapIn(idx Index) (data, access mem.Extent, f *Fault) {
 	}
 	d.SwappedOut = false
 	d.SwapToken = 0
+	if l := t.tr; l != nil {
+		l.Emit(trace.EvSwapIn, uint32(idx), 0, 0)
+	}
 	return d.Data, d.Access, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // Color is the tri-colour marking state used by the on-the-fly collector
@@ -88,6 +89,11 @@ type Table struct {
 	destroyed uint64
 	adStores  uint64
 	grayings  uint64
+
+	// tr is the kernel event log. nil means tracing is disabled; every
+	// emission site checks for nil locally so the disabled path is one
+	// branch.
+	tr *trace.Log
 }
 
 // NewTable creates an object table over a fresh physical memory of the
@@ -116,6 +122,16 @@ func (t *Table) Len() int { return len(t.descs) }
 func (t *Table) Stats() (created, destroyed, adStores, grayings uint64) {
 	return t.created, t.destroyed, t.adStores, t.grayings
 }
+
+// SetTracer installs (or, with nil, removes) the kernel event log. The
+// table is the one structure every subsystem already holds, so it carries
+// the tracer for all of them.
+func (t *Table) SetTracer(l *trace.Log) { t.tr = l }
+
+// Tracer returns the installed kernel event log, possibly nil. Subsystems
+// built over the table (ports, the collector, the process manager) emit
+// their events through this.
+func (t *Table) Tracer() *trace.Log { return t.tr }
 
 // Resolve validates an AD against the table: the entry must be live and
 // the generation must match. It returns the descriptor for inspection.
@@ -227,6 +243,9 @@ func (t *Table) Create(spec CreateSpec) (AD, *Fault) {
 	}
 	t.live++
 	t.created++
+	if l := t.tr; l != nil {
+		l.Emit(trace.EvObjCreate, uint32(idx), uint32(spec.Type), uint64(spec.Level))
+	}
 	return AD{Index: idx, Gen: gen & adGenMask, Rights: RightsAll}, nil
 }
 
@@ -257,6 +276,9 @@ func (t *Table) DestroyIndex(idx Index) *Fault {
 }
 
 func (t *Table) destroyDesc(idx Index, d *Descriptor) *Fault {
+	if l := t.tr; l != nil {
+		l.Emit(trace.EvObjDestroy, uint32(idx), uint32(d.Type), 0)
+	}
 	if !d.SwappedOut {
 		if d.DataLen > 0 {
 			if err := t.mem.Free(d.Data); err != nil {

@@ -56,6 +56,10 @@ func (t Type) String() string {
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
 
+// IsValid reports whether t is a defined hardware type (TypeInvalid is
+// not; it marks damaged descriptors to the auditor).
+func (t Type) IsValid() bool { return t > TypeInvalid && t < numTypes }
+
 // Rights are the per-capability access control flags (§2: "Each access
 // descriptor ... contains rights flags that control the access available
 // via that access descriptor"). Read/Write/Delete are uniform; the three

@@ -19,6 +19,7 @@ import (
 	"repro/internal/gdp"
 	"repro/internal/obj"
 	"repro/internal/process"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -195,6 +196,9 @@ func (b *Basic) stopOne(p obj.AD) *obj.Fault {
 	if f := P.SetStopCount(p, n+1); f != nil {
 		return f
 	}
+	if l := b.Sys.Table.Tracer(); l != nil {
+		l.Emit(trace.EvStop, uint32(p.Index), uint32(n+1), 0)
+	}
 	if n != 0 {
 		return nil // already out of the mix
 	}
@@ -238,6 +242,9 @@ func (b *Basic) startOne(p obj.AD) *obj.Fault {
 	}
 	if f := P.SetStopCount(p, n-1); f != nil {
 		return f
+	}
+	if l := b.Sys.Table.Tracer(); l != nil {
+		l.Emit(trace.EvStart, uint32(p.Index), uint32(n-1), 0)
 	}
 	if n != 1 {
 		return nil // still stopped

@@ -2,6 +2,7 @@ package port
 
 import (
 	"repro/internal/obj"
+	"repro/internal/trace"
 )
 
 // Waiter cancellation: the piece of the port machinery that timeout
@@ -14,24 +15,29 @@ import (
 
 // CancelWaiter removes proc from the port's wait queues. It reports
 // whether the process was found, and, for a cancelled sender, the message
-// its carrier held.
+// its carrier held. The sender queue is searched first; a fault there
+// aborts the whole cancellation immediately — the receiver queue must not
+// be walked over a port whose sender queue just proved corrupt.
 func (m *Manager) CancelWaiter(p obj.AD, proc obj.AD) (found bool, msg obj.AD, f *obj.Fault) {
 	if _, f := m.Table.RequireType(p, obj.TypePort); f != nil {
 		return false, obj.NilAD, f
 	}
-	for _, q := range []struct{ head, tail uint32 }{
-		{slotSendHead, slotSendTail},
-		{slotRecvHead, slotRecvTail},
-	} {
-		found, msg, f := m.unlink(p, q.head, q.tail, proc)
+	found, msg, f = m.unlink(p, slotSendHead, slotSendTail, proc)
+	if f != nil {
+		return false, obj.NilAD, f
+	}
+	if !found {
+		found, msg, f = m.unlink(p, slotRecvHead, slotRecvTail, proc)
 		if f != nil {
 			return false, obj.NilAD, f
 		}
-		if found {
-			return true, msg, nil
+	}
+	if found {
+		if l := m.Table.Tracer(); l != nil {
+			l.Emit(trace.EvCancel, uint32(p.Index), uint32(proc.Index), 0)
 		}
 	}
-	return false, obj.NilAD, nil
+	return found, msg, nil
 }
 
 // unlink removes the carrier holding proc from one wait queue.

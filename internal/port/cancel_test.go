@@ -137,6 +137,47 @@ func TestCancelAbsentWaiter(t *testing.T) {
 	}
 }
 
+func TestCancelDanglingPort(t *testing.T) {
+	fx := setup(t)
+	p := fx.newPort(t, 2, FIFO)
+	proc := fx.newProc(t)
+	if f := fx.tab.DestroyIndex(p.Index); f != nil {
+		t.Fatal(f)
+	}
+	found, _, f := fx.m.CancelWaiter(p, proc)
+	if f == nil || found {
+		t.Fatalf("cancel through dangling port AD: found=%v fault=%v", found, f)
+	}
+}
+
+// TestCancelFaultReturnsImmediately: a fault while walking a wait queue
+// aborts the whole cancellation — no result, no continued walking over a
+// port that just proved corrupt.
+func TestCancelFaultReturnsImmediately(t *testing.T) {
+	fx := setup(t)
+	p := fx.newPort(t, 1, FIFO)
+	fx.m.Send(p, fx.newMsg(t), 0, obj.NilAD) // fill
+	first, second := fx.newProc(t), fx.newProc(t)
+	fx.m.Send(p, fx.newMsg(t), 0, first)
+	fx.m.Send(p, fx.newMsg(t), 0, second)
+	st, f := fx.m.Inspect(p)
+	if f != nil || len(st.Senders) != 2 {
+		t.Fatalf("inspect: %v senders=%d", f, len(st.Senders))
+	}
+	// Destroy the head carrier out from under the queue; the walk to the
+	// second waiter must fault on the dangling link, not skip over it.
+	if f := fx.tab.DestroyIndex(st.Senders[0].Carrier); f != nil {
+		t.Fatal(f)
+	}
+	found, msg, f := fx.m.CancelWaiter(p, second)
+	if f == nil {
+		t.Fatal("walk over destroyed carrier did not fault")
+	}
+	if found || msg.Valid() {
+		t.Fatalf("faulting cancel returned a result: found=%v msg=%v", found, msg)
+	}
+}
+
 func TestCancelReclaimsCarrier(t *testing.T) {
 	fx := setup(t)
 	p := fx.newPort(t, 1, FIFO)

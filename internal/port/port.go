@@ -20,6 +20,7 @@ package port
 import (
 	"repro/internal/obj"
 	"repro/internal/sro"
+	"repro/internal/trace"
 )
 
 // Type rights on port capabilities (interpreted per §2's type-rights
@@ -196,6 +197,9 @@ func (m *Manager) Send(p obj.AD, msg obj.AD, key uint32, proc obj.AD) (blocked b
 	if f := m.deposit(p, capacity, msg, key); f != nil {
 		return false, nil, f
 	}
+	if l := m.Table.Tracer(); l != nil {
+		l.Emit(trace.EvSend, uint32(p.Index), uint32(msg.Index), uint64(key))
+	}
 	// A blocked receiver (possible only when the queue was empty) takes
 	// the best message immediately.
 	recv, f := m.unpark(p, slotRecvHead, slotRecvTail)
@@ -247,6 +251,9 @@ func (m *Manager) Receive(p obj.AD, proc obj.AD) (msg obj.AD, blocked bool, wake
 	if f != nil {
 		return obj.NilAD, false, nil, f
 	}
+	if l := m.Table.Tracer(); l != nil {
+		l.Emit(trace.EvRecv, uint32(p.Index), uint32(msg.Index), 0)
+	}
 	// A blocked sender's message moves into the freed slot.
 	send, f := m.unpark(p, slotSendHead, slotSendTail)
 	if f != nil {
@@ -255,6 +262,9 @@ func (m *Manager) Receive(p obj.AD, proc obj.AD) (msg obj.AD, blocked bool, wake
 	if send != nil {
 		if f := m.deposit(p, capacity, send.Msg, send.key); f != nil {
 			return obj.NilAD, false, nil, f
+		}
+		if l := m.Table.Tracer(); l != nil {
+			l.Emit(trace.EvSend, uint32(p.Index), uint32(send.Msg.Index), uint64(send.key))
 		}
 		return msg, false, &Wake{Process: send.Process}, nil
 	}
@@ -439,7 +449,17 @@ func (m *Manager) park(p obj.AD, headSlot, tailSlot uint32, proc, msg obj.AD, ke
 			return f
 		}
 	}
-	return m.Table.StoreADSystem(p, tailSlot, car)
+	if f := m.Table.StoreADSystem(p, tailSlot, car); f != nil {
+		return f
+	}
+	if l := m.Table.Tracer(); l != nil {
+		var side uint64
+		if headSlot == slotRecvHead {
+			side = 1
+		}
+		l.Emit(trace.EvPark, uint32(p.Index), uint32(proc.Index), side)
+	}
+	return nil
 }
 
 // unpark removes the head carrier of a wait queue, destroying the carrier
@@ -478,6 +498,13 @@ func (m *Manager) unpark(p obj.AD, headSlot, tailSlot uint32) (*parked, *obj.Fau
 	}
 	if f := m.SRO.Reclaim(head.Index); f != nil {
 		return nil, f
+	}
+	if l := m.Table.Tracer(); l != nil {
+		var side uint64
+		if headSlot == slotRecvHead {
+			side = 1
+		}
+		l.Emit(trace.EvUnpark, uint32(p.Index), uint32(proc.Index), side)
 	}
 	return &parked{Process: proc, Msg: msg, key: key}, nil
 }

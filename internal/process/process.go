@@ -18,6 +18,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/obj"
 	"repro/internal/sro"
+	"repro/internal/trace"
 )
 
 // RightControl on a process capability permits start/stop and parameter
@@ -216,7 +217,13 @@ func (m *Manager) SetState(p obj.AD, s State) *obj.Fault {
 	if _, f := m.Table.RequireType(p, obj.TypeProcess); f != nil {
 		return f
 	}
-	return m.Table.WriteWord(p, offState, uint16(s))
+	if f := m.Table.WriteWord(p, offState, uint16(s)); f != nil {
+		return f
+	}
+	if l := m.Table.Tracer(); l != nil {
+		l.Emit(trace.EvProcState, uint32(p.Index), uint32(s), 0)
+	}
+	return nil
 }
 
 // Priority reports the process's dispatching priority.
