@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	imax [-cpus N] [-mem BYTES] [-swapping] [-gc] [-demo NAME]
+//	imax [-cpus N] [-mem BYTES] [-swapping] [-gc] [-hostpar] [-demo NAME]
 //	     [-trace] [-audit] [-itrace N] [-inspect]
 //
 // Demos: ports (default), compute, gc, io.
@@ -38,6 +38,7 @@ func main() {
 	mem := flag.Uint("mem", 16<<20, "physical memory bytes")
 	swapping := flag.Bool("swapping", false, "select the swapping memory manager")
 	gcOn := flag.Bool("gc", true, "run the on-the-fly collector daemon")
+	hostpar := flag.Bool("hostpar", false, "run each simulated processor's quantum on its own host goroutine (results identical to serial)")
 	demo := flag.String("demo", "ports", "workload: ports | compute | gc | io")
 	inspectFlag := flag.Bool("inspect", false, "dump the object population after the workload")
 	traceFlag := flag.Bool("trace", false, "enable the kernel event log; print counters and tail at exit")
@@ -46,12 +47,13 @@ func main() {
 	flag.Parse()
 
 	im, err := core.Boot(core.Config{
-		Processors:  *cpus,
-		MemoryBytes: uint32(*mem),
-		Swapping:    *swapping,
-		GC:          *gcOn,
-		Filing:      true,
-		Trace:       *traceFlag,
+		Processors:   *cpus,
+		MemoryBytes:  uint32(*mem),
+		Swapping:     *swapping,
+		GC:           *gcOn,
+		Filing:       true,
+		Trace:        *traceFlag,
+		HostParallel: *hostpar,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	imaxbench            run everything
-//	imaxbench -run E3    run one experiment
-//	imaxbench -list      list experiment ids
-//	imaxbench -md        emit Markdown (for EXPERIMENTS.md)
+//	imaxbench                      run everything
+//	imaxbench -run E3              run one experiment
+//	imaxbench -list                list experiment ids
+//	imaxbench -md                  emit Markdown (for EXPERIMENTS.md)
+//	imaxbench -bench-pr2 OUT.json  host-parallel backend smoke benchmark
 package main
 
 import (
@@ -24,7 +25,31 @@ func main() {
 	runID := flag.String("run", "", "run a single experiment id (e.g. E3)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	md := flag.Bool("md", false, "emit Markdown instead of plain text")
+	benchPR2 := flag.String("bench-pr2", "", "run the host-parallel smoke benchmark and write the JSON report here")
 	flag.Parse()
+
+	if *benchPR2 != "" {
+		rep, err := experiments.BenchPR2(*benchPR2, 3)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "imaxbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench-pr2: host %d cpus, GOMAXPROCS %d (%s)\n",
+			rep.HostCPUs, rep.GOMAXPROCS, rep.GoVersion)
+		for _, r := range rep.Runs {
+			fmt.Printf("  %-12s %d cpus, %2d workers: serial %8.2fms, parallel %8.2fms, speedup %.2fx"+
+				" (epochs %d, commits %d, conflicts %d, aborts %d)\n",
+				r.Workload, r.Processors, r.Workers,
+				float64(r.SerialNs)/1e6, float64(r.ParallelNs)/1e6, r.Speedup,
+				r.ParEpochs, r.ParCommits, r.ParConflicts, r.ParAborts)
+			if !r.ResultsEqual {
+				fmt.Fprintf(os.Stderr, "imaxbench: %s: backend results diverged\n", r.Workload)
+				os.Exit(1)
+			}
+		}
+		fmt.Println("report:", *benchPR2)
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

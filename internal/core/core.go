@@ -78,6 +78,11 @@ type Config struct {
 	Trace bool
 	// TraceCapacity bounds the event ring; 0 means trace.DefaultCapacity.
 	TraceCapacity int
+
+	// HostParallel opts into the driver's parallel host backend: each
+	// simulated processor's quantum runs on its own host goroutine, with
+	// results byte-identical to the serial backend (see internal/gdp).
+	HostParallel bool
 }
 
 // IMAX is a configured, running system.
@@ -120,8 +125,9 @@ type IMAX struct {
 // Boot assembles a system from the configuration.
 func Boot(cfg Config) (*IMAX, error) {
 	sys, err := gdp.New(gdp.Config{
-		Processors:  cfg.Processors,
-		MemoryBytes: cfg.MemoryBytes,
+		Processors:   cfg.Processors,
+		MemoryBytes:  cfg.MemoryBytes,
+		HostParallel: cfg.HostParallel,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,252 @@
+package experiments
+
+// BenchPR2 is the host-parallelism smoke benchmark: the same simulated
+// workload runs under the serial and the parallel driver backend, and the
+// report records host wall-clock for both plus the backend's own epoch
+// counters. Two workload shapes bracket the backend's envelope:
+//
+//   - E3-shaped: independent run-to-completion compute processes across
+//     many simulated processors — epochs are disjoint, so nearly every one
+//     commits and the parallel backend's speedup approaches the host's
+//     core count (~1.0x on a single-core host).
+//   - E12-shaped: a blocking ping-pong over capacity-1 ports — every epoch
+//     carries cross-processor traffic, so the backend detects the conflict
+//     and replays serially; the interesting number is how little the
+//     speculation overhead costs when it never pays off.
+//
+// The report is honest about the host: host_cpus and gomaxprocs are
+// recorded so a ~1.0x E3 speedup on a single-core machine reads as the
+// host's fault, not the backend's.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/gdp"
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/vtime"
+)
+
+// BenchPR2Run is one workload × backend-pair measurement.
+type BenchPR2Run struct {
+	Workload   string  `json:"workload"`
+	Processors int     `json:"processors"`
+	Workers    int     `json:"workers"`
+	SerialNs   int64   `json:"serial_ns"`
+	ParallelNs int64   `json:"parallel_ns"`
+	Speedup    float64 `json:"speedup"`
+
+	// Virtual results must agree between the backends; cycles is the
+	// simulated elapsed time, identical by the determinism contract.
+	VirtualCycles uint64 `json:"virtual_cycles"`
+	ResultsEqual  bool   `json:"results_equal"`
+
+	// Parallel-backend epoch counters for the parallel run.
+	ParEpochs    uint64 `json:"par_epochs"`
+	ParCommits   uint64 `json:"par_commits"`
+	ParConflicts uint64 `json:"par_conflicts"`
+	ParAborts    uint64 `json:"par_aborts"`
+}
+
+// BenchPR2Report is the JSON artifact written by imaxbench -bench-pr2.
+type BenchPR2Report struct {
+	HostCPUs   int           `json:"host_cpus"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	GoVersion  string        `json:"go_version"`
+	Runs       []BenchPR2Run `json:"runs"`
+}
+
+// BenchPR2 runs both workloads under both backends (best of `reps` host
+// wall-clock) and writes the JSON report to path.
+func BenchPR2(path string, reps int) (*BenchPR2Report, error) {
+	if reps <= 0 {
+		reps = 3
+	}
+	rep := &BenchPR2Report{
+		HostCPUs:   runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	type workload struct {
+		name       string
+		processors int
+		workers    int
+		run        func(hostpar bool) (vtime.Cycles, uint64, gdp.ParStats, error)
+	}
+	const (
+		computeCPUs    = 6
+		computeWorkers = 24
+		computeIters   = 50_000
+		pingpongMsgs   = 3_000
+	)
+	workloads := []workload{
+		{"e3-compute", computeCPUs, computeWorkers, func(hostpar bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
+			return benchCompute(computeCPUs, computeWorkers, computeIters, hostpar)
+		}},
+		{"e12-pingpong", 2, 2, func(hostpar bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
+			return benchPingPong(pingpongMsgs, hostpar)
+		}},
+	}
+	for _, w := range workloads {
+		var serNs, parNs int64
+		var serCy, parCy vtime.Cycles
+		var serSum, parSum uint64
+		var ps gdp.ParStats
+		for i := 0; i < reps; i++ {
+			t0 := time.Now()
+			cy, sum, _, err := w.run(false)
+			d := time.Since(t0).Nanoseconds()
+			if err != nil {
+				return nil, fmt.Errorf("%s serial: %w", w.name, err)
+			}
+			if i == 0 || d < serNs {
+				serNs = d
+			}
+			serCy, serSum = cy, sum
+
+			t0 = time.Now()
+			cy, sum, st, err := w.run(true)
+			d = time.Since(t0).Nanoseconds()
+			if err != nil {
+				return nil, fmt.Errorf("%s parallel: %w", w.name, err)
+			}
+			if i == 0 || d < parNs {
+				parNs = d
+			}
+			parCy, parSum, ps = cy, sum, st
+		}
+		if serCy != parCy {
+			return nil, fmt.Errorf("%s: virtual time diverged: serial %d vs parallel %d", w.name, serCy, parCy)
+		}
+		rep.Runs = append(rep.Runs, BenchPR2Run{
+			Workload:      w.name,
+			Processors:    w.processors,
+			Workers:       w.workers,
+			SerialNs:      serNs,
+			ParallelNs:    parNs,
+			Speedup:       float64(serNs) / float64(parNs),
+			VirtualCycles: uint64(serCy),
+			ResultsEqual:  serSum == parSum,
+			ParEpochs:     ps.Epochs,
+			ParCommits:    ps.Commits,
+			ParConflicts:  ps.Conflicts,
+			ParAborts:     ps.Aborts,
+		})
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// benchCompute is the E3 shape sized for host-parallel speculation:
+// run-to-completion workers (no time slice, so no per-epoch dispatch-port
+// writes) spread over several processors. The returned sum folds every
+// worker's result so the backends can be compared.
+func benchCompute(cpus, workers int, iters uint32, hostpar bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
+	sys, err := gdp.New(gdp.Config{Processors: cpus, HostParallel: hostpar})
+	if err != nil {
+		return 0, 0, gdp.ParStats{}, err
+	}
+	results := make([]obj.AD, workers)
+	for i := range results {
+		r, f := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+		if f != nil {
+			return 0, 0, gdp.ParStats{}, f
+		}
+		dom, f := makeDomain(sys, []isa.Instr{
+			isa.MovI(1, iters+uint32(i)),
+			isa.MovI(0, 0),
+			isa.Add(0, 0, 1),
+			isa.AddI(1, 1, ^uint32(0)),
+			isa.BrNZ(1, 2),
+			isa.Store(0, 0, 0),
+			isa.Halt(),
+		})
+		if f != nil {
+			return 0, 0, gdp.ParStats{}, f
+		}
+		if _, f := sys.Spawn(dom, gdp.SpawnSpec{AArgs: [4]obj.AD{r}}); f != nil {
+			return 0, 0, gdp.ParStats{}, f
+		}
+		results[i] = r
+	}
+	elapsed, f := sys.Run(0)
+	if f != nil {
+		return 0, 0, gdp.ParStats{}, f
+	}
+	var sum uint64
+	for _, r := range results {
+		v, f := sys.Table.ReadDWord(r, 0)
+		if f != nil {
+			return 0, 0, gdp.ParStats{}, f
+		}
+		sum += uint64(v)
+	}
+	return elapsed, sum, sys.ParStats(), nil
+}
+
+// benchPingPong is the E12 blocking shape on two processors: every epoch
+// communicates, so the parallel backend should conflict-and-replay its way
+// to the same result. The sum is the total of both processors' dispatch
+// counters — equal iff the replay really reproduced the serial run.
+func benchPingPong(msgs int, hostpar bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
+	sys, err := gdp.New(gdp.Config{Processors: 2, HostParallel: hostpar})
+	if err != nil {
+		return 0, 0, gdp.ParStats{}, err
+	}
+	ping, f := sys.Ports.Create(sys.Heap, 1, 0)
+	if f != nil {
+		return 0, 0, gdp.ParStats{}, f
+	}
+	pong, f := sys.Ports.Create(sys.Heap, 1, 0)
+	if f != nil {
+		return 0, 0, gdp.ParStats{}, f
+	}
+	ball, f := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+	if f != nil {
+		return 0, 0, gdp.ParStats{}, f
+	}
+	player := func(starts bool) []isa.Instr {
+		prog := []isa.Instr{isa.MovI(4, uint32(msgs)), isa.MovI(5, 0)}
+		loop := uint32(len(prog))
+		if starts {
+			prog = append(prog, isa.Send(1, 3, 5), isa.Recv(1, 2))
+		} else {
+			prog = append(prog, isa.Recv(1, 2), isa.Send(1, 3, 5))
+		}
+		return append(prog, isa.AddI(4, 4, ^uint32(0)), isa.BrNZ(4, loop), isa.Halt())
+	}
+	serveDom, f := makeDomain(sys, player(true))
+	if f != nil {
+		return 0, 0, gdp.ParStats{}, f
+	}
+	returnDom, f := makeDomain(sys, player(false))
+	if f != nil {
+		return 0, 0, gdp.ParStats{}, f
+	}
+	if _, f := sys.Spawn(serveDom, gdp.SpawnSpec{AArgs: [4]obj.AD{obj.NilAD, ball, pong, ping}}); f != nil {
+		return 0, 0, gdp.ParStats{}, f
+	}
+	if _, f := sys.Spawn(returnDom, gdp.SpawnSpec{AArgs: [4]obj.AD{obj.NilAD, obj.NilAD, ping, pong}}); f != nil {
+		return 0, 0, gdp.ParStats{}, f
+	}
+	elapsed, f := sys.Run(0)
+	if f != nil {
+		return 0, 0, gdp.ParStats{}, f
+	}
+	var disp uint64
+	for _, cpu := range sys.CPUs {
+		disp += cpu.Dispatches
+	}
+	return elapsed, disp, sys.ParStats(), nil
+}

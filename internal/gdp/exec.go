@@ -44,6 +44,17 @@ func (s *System) Step(quantum vtime.Cycles) (bool, *obj.Fault) {
 		}
 		s.busyThisStep = busy
 	}
+	if s.parallelEligible() {
+		return s.stepParallel(quantum)
+	}
+	return s.stepSerial(quantum)
+}
+
+// stepSerial is the reference backend: processors run their quanta one
+// after another in processor order. The parallel backend defines itself
+// against this — whatever it commits must be byte-identical to what
+// stepSerial would have produced.
+func (s *System) stepSerial(quantum vtime.Cycles) (bool, *obj.Fault) {
 	worked := false
 	for _, cpu := range s.CPUs {
 		w, f := s.stepCPU(cpu, quantum)
@@ -61,12 +72,29 @@ func (s *System) Step(quantum vtime.Cycles) (bool, *obj.Fault) {
 }
 
 // Run steps the system until no processor can find work or maxCycles of
-// virtual time elapse. It reports the elapsed virtual time.
+// virtual time elapse. It reports the elapsed virtual time, which with a
+// non-zero budget never exceeds maxCycles: the final quantum is clamped to
+// what remains of the budget, and any instruction-granularity spill past
+// the boundary is capped back.
 func (s *System) Run(maxCycles vtime.Cycles) (vtime.Cycles, *obj.Fault) {
 	start := s.Now()
 	const quantum = 5_000
+	limit := start + maxCycles
 	for {
-		worked, f := s.Step(quantum)
+		q := vtime.Cycles(quantum)
+		if maxCycles > 0 {
+			if rem := limit - s.Now(); rem < q {
+				q = rem
+			}
+		}
+		worked, f := s.Step(q)
+		if maxCycles > 0 {
+			// Instructions are atomic, so the last one of a quantum can
+			// carry a clock past the budget; pull it back to the line.
+			for _, cpu := range s.CPUs {
+				cpu.Clock.CapAt(limit)
+			}
+		}
 		if f != nil {
 			return s.Now() - start, f
 		}
@@ -74,9 +102,14 @@ func (s *System) Run(maxCycles vtime.Cycles) (vtime.Cycles, *obj.Fault) {
 			if len(s.timers) == 0 {
 				return s.Now() - start, nil
 			}
-			// Nothing runnable but timers are armed: idle time
-			// passes until the earliest expiry.
-			next := s.NextTimer()
+			// Nothing runnable but timers are armed: idle time passes,
+			// on every processor alike, until the earliest expiry —
+			// clocks converge on the post-idle instant even when some
+			// were already past it.
+			next := vtime.Max(s.NextTimer(), s.Now())
+			if maxCycles > 0 && next > limit {
+				next = limit
+			}
 			for _, cpu := range s.CPUs {
 				if now := cpu.Clock.Now(); next > now {
 					cpu.Clock.AdvanceTo(next)
@@ -97,12 +130,26 @@ func (s *System) Run(maxCycles vtime.Cycles) (vtime.Cycles, *obj.Fault) {
 // RunUntil steps the system until pred reports true or maxCycles of
 // virtual time elapse. Use it instead of Run when the configuration
 // includes perpetual daemons (a polling fault handler, the collector):
-// such systems are never idle, so "run to idle" never returns.
+// such systems are never idle, so "run to idle" never returns. Like Run,
+// a non-zero budget bounds the reported elapsed time exactly.
 func (s *System) RunUntil(pred func() bool, maxCycles vtime.Cycles) (vtime.Cycles, *obj.Fault) {
 	start := s.Now()
 	const quantum = 5_000
+	limit := start + maxCycles
 	for !pred() {
-		if _, f := s.Step(quantum); f != nil {
+		q := vtime.Cycles(quantum)
+		if maxCycles > 0 {
+			if rem := limit - s.Now(); rem < q {
+				q = rem
+			}
+		}
+		_, f := s.Step(q)
+		if maxCycles > 0 {
+			for _, cpu := range s.CPUs {
+				cpu.Clock.CapAt(limit)
+			}
+		}
+		if f != nil {
 			return s.Now() - start, f
 		}
 		if maxCycles > 0 && s.Now()-start >= maxCycles {
@@ -114,6 +161,11 @@ func (s *System) RunUntil(pred func() bool, maxCycles vtime.Cycles) (vtime.Cycle
 }
 
 func (s *System) stepCPU(cpu *CPU, quantum vtime.Cycles) (bool, *obj.Fault) {
+	// A dead speculation does no further work; the real epoch driver will
+	// replay everything serially.
+	if s.spec != nil && s.specDead() {
+		return false, nil
+	}
 	// An offline processor burns idle time only; its clock keeps pace
 	// so system-wide time stays meaningful.
 	if cpu.offline {
@@ -153,6 +205,13 @@ func (s *System) stepCPU(cpu *CPU, quantum vtime.Cycles) (bool, *obj.Fault) {
 	before := cpu.Clock.Now()
 	var f *obj.Fault
 	if body := s.nativeBodyOf(proc); body != nil {
+		if s.spec != nil {
+			// Native bodies mutate host Go state (the collector's mark
+			// stack, the memory manager) that forks cannot shadow; the
+			// epoch aborts and replays serially.
+			s.spec.dead = true
+			return true, nil
+		}
 		f = s.stepNative(cpu, body, quantum)
 	} else {
 		f = s.stepVM(cpu, quantum)
@@ -213,6 +272,9 @@ func (s *System) stepNative(cpu *CPU, body NativeBody, quantum vtime.Cycles) *ob
 func (s *System) stepVM(cpu *CPU, quantum vtime.Cycles) *obj.Fault {
 	budget := quantum
 	for budget > 0 && cpu.proc.Valid() {
+		if s.spec != nil && s.specDead() {
+			return nil
+		}
 		spent, f := s.execOne(cpu)
 		if f != nil {
 			if df := s.deliverFault(cpu, cpu.proc, f); df != nil {

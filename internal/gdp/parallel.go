@@ -1,0 +1,322 @@
+package gdp
+
+// The parallel host backend: within one Step, every simulated processor's
+// quantum runs on its own *host* goroutine against an epoch fork of the
+// machine state (obj.Table.Fork over mem.Memory.Fork), then the forks
+// commit in canonical processor order at a barrier. Virtual time, fault
+// behaviour, and the kernel event log are byte-identical to the serial
+// backend by construction:
+//
+//   - A fork never reads another processor's epoch writes, so the only
+//     epochs allowed to commit are those where the serial interleaving
+//     within the step could not have communicated either — detected by
+//     intersecting read/write footprints (descriptor slots exactly, memory
+//     pages refined to byte-granular bitmaps for first-fit boundary pages).
+//   - Committing in processor order replays exactly the serial emission
+//     order of trace events and the serial accumulation order of stats.
+//   - Anything a fork cannot reproduce speculatively — object creation or
+//     destruction (slot and extent allocation order), native Go bodies
+//     (they mutate host state outside the object world), a system-level
+//     fault, a trace-ring overflow — aborts the epoch.
+//
+// A conflicting or aborted epoch is discarded wholesale and replayed with
+// the serial backend; since speculation never touched real state, the
+// replay IS the serial execution. Parallelism is therefore purely a host
+// wall-clock optimisation: heavy compute epochs commit, epochs with
+// cross-processor traffic (port contention, dispatching races, daemons)
+// serialise, and either way the simulated machine cannot tell.
+
+import (
+	"sync"
+
+	"repro/internal/domain"
+	"repro/internal/obj"
+	"repro/internal/port"
+	"repro/internal/process"
+	"repro/internal/sro"
+	"repro/internal/trace"
+	"repro/internal/typedef"
+	"repro/internal/vtime"
+)
+
+// forkLogCapacity sizes each fork's private trace ring. A quantum is a few
+// thousand cycles and the cheapest traced operation costs ~4, so 32k events
+// is far past any real epoch; overflow aborts the epoch rather than lose
+// events.
+const forkLogCapacity = 1 << 15
+
+// maxParallelCPUs bounds the backend to the width of the footprint
+// bitmasks; larger systems fall back to the serial backend.
+const maxParallelCPUs = 64
+
+// specCtl is the kill switch of one speculation. It lives on the fork
+// systems only; the real system's spec field is nil.
+type specCtl struct {
+	dead bool
+}
+
+// specDead reports whether this fork's speculation has been aborted,
+// either explicitly or by a structural operation in the table/memory fork.
+func (s *System) specDead() bool {
+	return s.spec != nil && (s.spec.dead || s.Table.ForkAborted())
+}
+
+// epochFork is one processor's speculation apparatus, reused across epochs.
+type epochFork struct {
+	sys  *System    // shadow system over the fork table
+	cpu  *CPU       // epoch-local copy of the real CPU
+	log  *trace.Log // private event ring, re-emitted on commit
+	seq0 uint64     // log sequence at epoch start, for overflow detection
+
+	worked bool
+	fault  *obj.Fault
+}
+
+// parallelEligible reports whether this step may run on the parallel
+// backend. Deadline dispatching reads the system-wide clock from inside a
+// quantum (undetectable cross-processor communication), and the Trace
+// instruction callback is a shared host closure; both force serial.
+func (s *System) parallelEligible() bool {
+	return s.hostpar &&
+		len(s.CPUs) > 1 && len(s.CPUs) <= maxParallelCPUs &&
+		!s.deadline &&
+		s.Trace == nil
+}
+
+// buildForks constructs one epoch fork per processor. The fork system
+// shares everything immutable-during-a-step with the real system (the
+// native-body registry, the handler registry via the epoch domain manager,
+// configuration) and owns fork views of everything mutable (table, memory,
+// per-epoch stats, trace ring).
+func (s *System) buildForks() {
+	s.forks = make([]*epochFork, len(s.CPUs))
+	for i := range s.CPUs {
+		ftab := s.Table.Fork()
+		fsro := sro.NewManager(ftab)
+		fs := &System{
+			Table:        ftab,
+			SROs:         fsro,
+			Ports:        port.NewManager(ftab, fsro),
+			Procs:        process.NewManager(ftab, fsro),
+			TDOs:         typedef.NewManager(ftab),
+			Heap:         s.Heap,
+			Dispatch:     s.Dispatch,
+			bodies:       s.bodies,
+			contention:   s.contention,
+			deadline:     s.deadline,
+			deadlineBase: s.deadlineBase,
+			spec:         &specCtl{},
+		}
+		fs.Domains = domain.NewEpochManager(ftab, fsro, s.Domains)
+		s.forks[i] = &epochFork{sys: fs, cpu: &CPU{}}
+	}
+}
+
+// begin readies the fork for a new epoch: fresh CPU copy, cleared
+// footprints and caches, and a private trace ring iff the real system is
+// tracing.
+func (fk *epochFork) begin(s *System, real *CPU, tr *trace.Log) {
+	fs := fk.sys
+	*fk.cpu = *real
+	fs.busyThisStep = s.busyThisStep
+	fs.dispatches, fs.preemptions, fs.faultsSent, fs.instructions = 0, 0, 0, 0
+	fs.spec.dead = false
+	fs.Domains.ResetEpochCache()
+	fs.Table.ForkReset()
+	if tr != nil {
+		if fk.log == nil {
+			fk.log = trace.New(forkLogCapacity)
+		}
+		fk.log.Reset()
+		fk.seq0 = fk.log.Seq()
+		fs.Table.SetTracer(fk.log)
+	} else {
+		fk.log = nil
+		fs.Table.SetTracer(nil)
+	}
+	fk.worked, fk.fault = false, nil
+}
+
+// overflowed reports whether the fork's trace ring wrapped this epoch —
+// events were lost, so faithful re-emission is impossible.
+func (fk *epochFork) overflowed() bool {
+	return fk.log != nil && fk.log.Seq()-fk.seq0 > forkLogCapacity
+}
+
+// stepParallel runs one step's quanta concurrently on host goroutines and
+// commits, or falls back to serial replay. It is only called from Step,
+// after the contention prologue, so busyThisStep is already current.
+func (s *System) stepParallel(quantum vtime.Cycles) (bool, *obj.Fault) {
+	if len(s.forks) != len(s.CPUs) {
+		s.buildForks()
+	}
+	s.parEpochs++
+	tr := s.Tracer()
+	for i, fk := range s.forks {
+		fk.begin(s, s.CPUs[i], tr)
+	}
+
+	var wg sync.WaitGroup
+	for _, fk := range s.forks {
+		wg.Add(1)
+		go func(fk *epochFork) {
+			defer wg.Done()
+			fk.worked, fk.fault = fk.sys.stepCPU(fk.cpu, quantum)
+		}(fk)
+	}
+	wg.Wait()
+
+	aborted := false
+	for _, fk := range s.forks {
+		if fk.fault != nil || fk.sys.specDead() || fk.overflowed() {
+			aborted = true
+			break
+		}
+	}
+	if aborted {
+		s.parAborts++
+	} else if s.forkConflicts() {
+		s.parConflicts++
+		aborted = true
+	}
+	if aborted {
+		// Discard everything and replay on the real state: speculation
+		// never touched it, so the replay IS the serial execution.
+		s.parReplays++
+		return s.stepSerial(quantum)
+	}
+
+	// Commit in canonical processor order. With no conflicts, applying
+	// each fork's writes, stats deltas, decode-cache entries and trace
+	// events in that order reproduces the serial step exactly.
+	worked := false
+	for i, fk := range s.forks {
+		fk.sys.Table.ForkCommit()
+		*s.CPUs[i] = *fk.cpu
+		s.dispatches += fk.sys.dispatches
+		s.preemptions += fk.sys.preemptions
+		s.faultsSent += fk.sys.faultsSent
+		s.instructions += fk.sys.instructions
+		fk.sys.Domains.MergeEpochCache(s.Domains)
+		if tr != nil && fk.log != nil {
+			for _, e := range fk.log.Events() {
+				tr.Emit(e.Kind, e.Obj, e.Arg, e.Aux)
+			}
+		}
+		worked = worked || fk.worked
+	}
+	s.parCommits++
+
+	if len(s.timers) > 0 {
+		if f := s.fireTimers(s.Now()); f != nil {
+			return worked, f
+		}
+	}
+	return worked, nil
+}
+
+// forkConflicts reports whether any two forks' epoch footprints overlap in
+// a way serial execution could have observed: a descriptor slot or memory
+// byte written by one processor and touched by any other.
+func (s *System) forkConflicts() bool {
+	// Descriptor slots: exact granularity, mask of touchers per slot.
+	type touchers struct{ readers, writers uint64 }
+	descs := make(map[obj.Index]*touchers)
+	pages := make(map[uint32]*touchers)
+	at := func(m map[uint32]*touchers, k uint32) *touchers {
+		t := m[k]
+		if t == nil {
+			t = &touchers{}
+			m[k] = t
+		}
+		return t
+	}
+	atDesc := func(k obj.Index) *touchers {
+		t := descs[k]
+		if t == nil {
+			t = &touchers{}
+			descs[k] = t
+		}
+		return t
+	}
+	for i, fk := range s.forks {
+		bit := uint64(1) << i
+		for _, idx := range fk.sys.Table.ForkTouched() {
+			atDesc(idx).readers |= bit
+		}
+		for _, idx := range fk.sys.Table.ForkDescWrites() {
+			atDesc(idx).writers |= bit
+		}
+		r, w := fk.sys.Table.ForkPages()
+		for _, p := range r {
+			at(pages, p).readers |= bit
+		}
+		for _, p := range w {
+			at(pages, p).writers |= bit
+		}
+	}
+	conflicting := func(t *touchers) bool {
+		w := t.writers
+		if w == 0 {
+			return false
+		}
+		// Two writers, or a writer plus any other toucher.
+		return w&(w-1) != 0 || (t.readers|t.writers)&^w != 0
+	}
+	for _, t := range descs {
+		if conflicting(t) {
+			return true
+		}
+	}
+	for p, t := range pages {
+		if !conflicting(t) {
+			continue
+		}
+		// Page-level overlap: refine to bytes. First-fit allocation packs
+		// unrelated objects into adjacent bytes, so processors working on
+		// disjoint objects routinely share a boundary page without
+		// sharing a byte.
+		ids := make([]int, 0, len(s.forks))
+		all := t.readers | t.writers
+		for i := range s.forks {
+			if all&(1<<i) != 0 {
+				ids = append(ids, i)
+			}
+		}
+		for ai := 0; ai < len(ids); ai++ {
+			ra, wa := s.forks[ids[ai]].sys.Table.ForkPageFootprint(p)
+			for bi := ai + 1; bi < len(ids); bi++ {
+				rb, wb := s.forks[ids[bi]].sys.Table.ForkPageFootprint(p)
+				for k := range wa {
+					if wa[k]&(rb[k]|wb[k]) != 0 || wb[k]&(ra[k]|wa[k]) != 0 {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// ParStats counts parallel-backend outcomes per epoch (one Step on the
+// parallel path is one epoch). Replays = Conflicts + Aborts; Epochs =
+// Commits + Replays.
+type ParStats struct {
+	Epochs    uint64 // steps attempted on the parallel backend
+	Commits   uint64 // epochs whose forks committed
+	Conflicts uint64 // epochs discarded for footprint overlap
+	Aborts    uint64 // epochs discarded for structural ops/faults/daemons
+	Replays   uint64 // serial replays (= Conflicts + Aborts)
+}
+
+// ParStats reports the parallel backend's counters; all zero when the
+// backend is disabled.
+func (s *System) ParStats() ParStats {
+	return ParStats{
+		Epochs:    s.parEpochs,
+		Commits:   s.parCommits,
+		Conflicts: s.parConflicts,
+		Aborts:    s.parAborts,
+		Replays:   s.parReplays,
+	}
+}

@@ -1,0 +1,304 @@
+package gdp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/port"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// TestRunBudgetClamped is the regression test for the quantum-boundary
+// overshoot: Run(maxCycles) used to check the budget only after a full
+// 5000-cycle Step, so a busy system overshot by up to a quantum. The
+// budget is a contract: elapsed must be exactly maxCycles for a system
+// that is still busy, for budgets that are and are not quantum multiples.
+func TestRunBudgetClamped(t *testing.T) {
+	for _, budget := range []vtime.Cycles{4_999, 5_000, 7_001, 12_345, 23_456} {
+		s := newSystem(t, 1)
+		dom := mustDomain(t, s, []isa.Instr{isa.Br(0)}) // spin forever
+		if _, f := s.Spawn(dom, SpawnSpec{}); f != nil {
+			t.Fatal(f)
+		}
+		elapsed, f := s.Run(budget)
+		if f == nil || f.Code != obj.FaultTimeout {
+			t.Fatalf("budget %d: fault = %v, want FaultTimeout", budget, f)
+		}
+		if elapsed != budget {
+			t.Fatalf("budget %d: elapsed = %d", budget, elapsed)
+		}
+		for _, cpu := range s.CPUs {
+			if cpu.Clock.Now() > budget {
+				t.Fatalf("budget %d: cpu %d clock = %d", budget, cpu.ID, cpu.Clock.Now())
+			}
+		}
+	}
+}
+
+// TestRunUntilBudgetClamped covers the same contract for RunUntil.
+func TestRunUntilBudgetClamped(t *testing.T) {
+	s := newSystem(t, 2)
+	dom := mustDomain(t, s, []isa.Instr{isa.Br(0)})
+	if _, f := s.Spawn(dom, SpawnSpec{}); f != nil {
+		t.Fatal(f)
+	}
+	const budget = 8_601
+	elapsed, f := s.RunUntil(func() bool { return false }, budget)
+	if f == nil || f.Code != obj.FaultTimeout {
+		t.Fatalf("fault = %v, want FaultTimeout", f)
+	}
+	if elapsed != budget {
+		t.Fatalf("elapsed = %d, want %d", elapsed, budget)
+	}
+}
+
+// TestIdleTimerConvergenceAndBudget is the regression test for the idle
+// path: with skewed clocks and an armed timer beyond the budget, the old
+// code jumped every clock to the timer's expiry (overshooting the budget by
+// arbitrary amounts) and skipped processors already past the target. Now
+// all processors converge on the same post-idle instant, clamped to the
+// budget.
+func TestIdleTimerConvergenceAndBudget(t *testing.T) {
+	s := newSystem(t, 2)
+	prt, f := s.Ports.Create(s.Heap, 2, port.FIFO)
+	if f != nil {
+		t.Fatal(f)
+	}
+	dom := mustDomain(t, s, []isa.Instr{
+		isa.Recv(1, 0), // blocks: nobody sends
+		isa.Halt(),
+	})
+	p, f := s.Spawn(dom, SpawnSpec{AArgs: [4]obj.AD{prt}})
+	if f != nil {
+		t.Fatal(f)
+	}
+	if _, f := s.Run(0); f != nil {
+		t.Fatal(f)
+	}
+	// Skew processor 0 far ahead, then arm a wakeup far beyond the budget.
+	s.CPUs[0].Clock.AdvanceTo(s.Now() + 40_000)
+	start := s.Now()
+	s.WakeAt(start+500_000, p)
+	const budget = 20_000
+	elapsed, f := s.Run(budget)
+	if f == nil || f.Code != obj.FaultTimeout {
+		t.Fatalf("fault = %v, want FaultTimeout", f)
+	}
+	if elapsed != budget {
+		t.Fatalf("elapsed = %d, want %d (idle advance must respect the budget)", elapsed, budget)
+	}
+	for _, cpu := range s.CPUs {
+		if cpu.Clock.Now() != start+budget {
+			t.Fatalf("cpu %d clock = %d, want %d (clocks must converge after idle)",
+				cpu.ID, cpu.Clock.Now(), start+budget)
+		}
+	}
+}
+
+// computeWorkload spawns `workers` run-to-completion compute loops, each
+// summing into its own result object. Identical construction order on twin
+// systems yields identical object layouts.
+func computeWorkload(t *testing.T, s *System, workers int) []obj.AD {
+	t.Helper()
+	results := make([]obj.AD, workers)
+	for i := range results {
+		r, f := s.SROs.Create(s.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+		if f != nil {
+			t.Fatal(f)
+		}
+		dom := mustDomain(t, s, []isa.Instr{
+			isa.MovI(1, uint32(2_000+i*37)), // i = iterations
+			isa.MovI(0, 0),                  // sum = 0
+			isa.Add(0, 0, 1),
+			isa.AddI(1, 1, ^uint32(0)), // i--
+			isa.BrNZ(1, 2),
+			isa.Store(0, 0, 0),
+			isa.Halt(),
+		})
+		if _, f := s.Spawn(dom, SpawnSpec{AArgs: [4]obj.AD{r}}); f != nil {
+			t.Fatal(f)
+		}
+		results[i] = r
+	}
+	return results
+}
+
+// mustEqualSystems asserts the observable machine state of two runs is
+// identical: per-processor clocks and stats, system stats, live objects,
+// and the full kernel event logs when both systems trace.
+func mustEqualSystems(t *testing.T, a, b *System) {
+	t.Helper()
+	if len(a.CPUs) != len(b.CPUs) {
+		t.Fatalf("CPU counts differ: %d vs %d", len(a.CPUs), len(b.CPUs))
+	}
+	for i := range a.CPUs {
+		ca, cb := a.CPUs[i], b.CPUs[i]
+		if ca.Clock.Now() != cb.Clock.Now() {
+			t.Fatalf("cpu %d clock: %d vs %d", i, ca.Clock.Now(), cb.Clock.Now())
+		}
+		if ca.IdleCycles != cb.IdleCycles || ca.Dispatches != cb.Dispatches ||
+			ca.Instructions != cb.Instructions {
+			t.Fatalf("cpu %d stats differ: %+v vs %+v", i, *ca, *cb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Table.Live() != b.Table.Live() {
+		t.Fatalf("live objects: %d vs %d", a.Table.Live(), b.Table.Live())
+	}
+	la, lb := a.Tracer(), b.Tracer()
+	if (la == nil) != (lb == nil) {
+		t.Fatal("one system traces, the other does not")
+	}
+	if la != nil {
+		var da, db bytes.Buffer
+		if err := la.Dump(&da); err != nil {
+			t.Fatal(err)
+		}
+		if err := lb.Dump(&db); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(da.Bytes(), db.Bytes()) {
+			t.Fatalf("trace dumps differ (%d vs %d bytes)", da.Len(), db.Len())
+		}
+	}
+}
+
+// TestParallelCommitDisjointCompute: independent compute loops on separate
+// processors must actually commit speculative epochs, and the final state
+// must be byte-identical to the serial backend's.
+func TestParallelCommitDisjointCompute(t *testing.T) {
+	build := func(hostpar bool) (*System, []obj.AD) {
+		s, err := New(Config{Processors: 2, HostParallel: hostpar})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetTracer(trace.New(1 << 16))
+		return s, computeWorkload(t, s, 2)
+	}
+	ser, serRes := build(false)
+	par, parRes := build(true)
+
+	eSer, f := ser.Run(100_000_000)
+	if f != nil {
+		t.Fatal(f)
+	}
+	ePar, f := par.Run(100_000_000)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if eSer != ePar {
+		t.Fatalf("elapsed: serial %d vs parallel %d", eSer, ePar)
+	}
+	for i := range serRes {
+		vs, _ := ser.Table.ReadDWord(serRes[i], 0)
+		vp, _ := par.Table.ReadDWord(parRes[i], 0)
+		if vs != vp || vs == 0 {
+			t.Fatalf("result %d: serial %d vs parallel %d", i, vs, vp)
+		}
+	}
+	mustEqualSystems(t, ser, par)
+
+	ps := par.ParStats()
+	if ps.Epochs == 0 || ps.Commits == 0 {
+		t.Fatalf("parallel backend never committed: %+v", ps)
+	}
+	if ps.Epochs != ps.Commits+ps.Replays || ps.Replays != ps.Conflicts+ps.Aborts {
+		t.Fatalf("inconsistent counters: %+v", ps)
+	}
+	if ser.ParStats().Epochs != 0 {
+		t.Fatalf("serial system ran parallel epochs: %+v", ser.ParStats())
+	}
+}
+
+// TestParallelConflictSharedPort: two processors hammering one port in the
+// same epoch must be detected as a conflict and replayed serially, with
+// results identical to a pure-serial run.
+func TestParallelConflictSharedPort(t *testing.T) {
+	build := func(hostpar bool) (*System, obj.AD) {
+		s, err := New(Config{Processors: 2, HostParallel: hostpar})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetTracer(trace.New(1 << 16))
+		shared, f := s.Ports.Create(s.Heap, 1024, port.FIFO)
+		if f != nil {
+			t.Fatal(f)
+		}
+		for i := 0; i < 2; i++ {
+			msg, f := s.SROs.Create(s.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 4})
+			if f != nil {
+				t.Fatal(f)
+			}
+			dom := mustDomain(t, s, []isa.Instr{
+				isa.MovI(1, 200),    // sends to go
+				isa.CSend(0, 1, 2),  // shared port never fills (cap 1024)
+				isa.AddI(1, 1, ^uint32(0)),
+				isa.BrNZ(1, 1),
+				isa.Halt(),
+			})
+			if _, f := s.Spawn(dom, SpawnSpec{AArgs: [4]obj.AD{msg, shared}}); f != nil {
+				t.Fatal(f)
+			}
+		}
+		return s, shared
+	}
+	ser, serPort := build(false)
+	par, parPort := build(true)
+	if _, f := ser.Run(100_000_000); f != nil {
+		t.Fatal(f)
+	}
+	if _, f := par.Run(100_000_000); f != nil {
+		t.Fatal(f)
+	}
+	ns, _ := ser.Ports.Count(serPort)
+	np, _ := par.Ports.Count(parPort)
+	if ns != np || ns != 400 {
+		t.Fatalf("port counts: serial %d vs parallel %d, want 400", ns, np)
+	}
+	mustEqualSystems(t, ser, par)
+
+	ps := par.ParStats()
+	if ps.Conflicts == 0 {
+		t.Fatalf("contended port produced no conflicts: %+v", ps)
+	}
+	if ps.Replays == 0 || ps.Replays != ps.Conflicts+ps.Aborts {
+		t.Fatalf("inconsistent counters: %+v", ps)
+	}
+}
+
+// TestParallelSerialFallbacks: configurations the parallel backend cannot
+// speculate (deadline dispatch, the instruction trace callback, a single
+// processor) must quietly use the serial backend.
+func TestParallelSerialFallbacks(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		prep func(*System)
+	}{
+		{"single-cpu", Config{Processors: 1, HostParallel: true}, nil},
+		{"deadline", Config{Processors: 2, HostParallel: true, DeadlineDispatch: true}, nil},
+		{"trace-callback", Config{Processors: 2, HostParallel: true},
+			func(s *System) { s.Trace = func(int, obj.AD, TraceEvent) {} }},
+	}
+	for _, tc := range cases {
+		s, err := New(tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.prep != nil {
+			tc.prep(s)
+		}
+		computeWorkload(t, s, 2)
+		if _, f := s.Run(100_000_000); f != nil {
+			t.Fatalf("%s: %v", tc.name, f)
+		}
+		if ps := s.ParStats(); ps.Epochs != 0 {
+			t.Fatalf("%s: parallel epochs ran: %+v", tc.name, ps)
+		}
+	}
+}

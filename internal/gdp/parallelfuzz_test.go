@@ -1,0 +1,185 @@
+package gdp_test
+
+// Differential fuzzing of the parallel host backend (external test package
+// so the cross-subsystem invariant auditor can join the comparison): the
+// same seeded workload is run to completion under the serial and the
+// parallel backend, and any divergence — in the kernel event log bytes,
+// per-processor clocks, system stats, live-object census, or the audit
+// report — is a bug in the speculation/commit machinery.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/gdp"
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/port"
+	"repro/internal/trace"
+)
+
+// buildFuzzSystem constructs a system plus a seed-determined workload mix:
+// pure compute loops, port spammers and drainers on a shared port, and a
+// spread of time slices (preemption traffic) across 2..4 processors.
+// Identical seeds produce identical construction sequences, so a serial
+// and a parallel build are twins.
+func buildFuzzSystem(t *testing.T, seed int64, hostpar bool) *gdp.System {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s, err := gdp.New(gdp.Config{
+		Processors:   2 + rng.Intn(3),
+		MemoryBytes:  8 << 20,
+		HostParallel: hostpar,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetTracer(trace.New(1 << 17))
+
+	shared, f := s.Ports.Create(s.Heap, 512, port.FIFO)
+	if f != nil {
+		t.Fatal(f)
+	}
+	nproc := 3 + rng.Intn(5)
+	for i := 0; i < nproc; i++ {
+		result, f := s.SROs.Create(s.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+		if f != nil {
+			t.Fatal(f)
+		}
+		iters := uint32(300 + rng.Intn(2500))
+		var prog []isa.Instr
+		switch rng.Intn(3) {
+		case 0: // pure compute: sum the countdown
+			prog = []isa.Instr{
+				isa.MovI(1, iters),
+				isa.MovI(0, 0),
+				isa.Add(0, 0, 1),
+				isa.AddI(1, 1, ^uint32(0)),
+				isa.BrNZ(1, 2),
+				isa.Store(0, 0, 0),
+				isa.Halt(),
+			}
+		case 1: // compute, then offer the result object at the shared port
+			prog = []isa.Instr{
+				isa.MovI(1, iters),
+				isa.AddI(1, 1, ^uint32(0)),
+				isa.BrNZ(1, 1),
+				isa.CSend(0, 1, 2), // full port drops the offer
+				isa.Halt(),
+			}
+		case 2: // drain the shared port between compute bursts
+			prog = []isa.Instr{
+				isa.MovI(1, iters),
+				isa.CRecv(2, 1, 3), // whatever is there, if anything
+				isa.AddI(1, 1, ^uint32(0)),
+				isa.BrNZ(1, 1),
+				isa.Halt(),
+			}
+		}
+		dom, f := s.Domains.CreateCode(s.Heap, prog)
+		if f != nil {
+			t.Fatal(f)
+		}
+		d, f := s.Domains.Create(s.Heap, dom, []uint32{0})
+		if f != nil {
+			t.Fatal(f)
+		}
+		slices := []uint32{0, 0, 1_500, 4_000}
+		if _, f := s.Spawn(d, gdp.SpawnSpec{
+			Priority:  uint16(rng.Intn(4)),
+			TimeSlice: slices[rng.Intn(len(slices))],
+			AArgs:     [4]obj.AD{result, shared},
+		}); f != nil {
+			t.Fatal(f)
+		}
+	}
+	return s
+}
+
+// runFuzz drives the system through a mixed cadence of short steps (to
+// exercise epoch boundaries at odd offsets) and a final drain to idle.
+func runFuzz(t *testing.T, s *gdp.System) {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		if _, f := s.Step(3_000); f != nil {
+			t.Fatal(f)
+		}
+	}
+	if _, f := s.Run(0); f != nil {
+		t.Fatal(f)
+	}
+}
+
+func fuzzFingerprint(t *testing.T, s *gdp.System) string {
+	t.Helper()
+	var b bytes.Buffer
+	for _, cpu := range s.CPUs {
+		fmt.Fprintf(&b, "cpu%d clock=%d idle=%d disp=%d instr=%d\n",
+			cpu.ID, cpu.Clock.Now(), cpu.IdleCycles, cpu.Dispatches, cpu.Instructions)
+	}
+	fmt.Fprintf(&b, "stats=%+v live=%d now=%d total=%d\n",
+		s.Stats(), s.Table.Live(), s.Now(), s.TotalCycles())
+	for _, v := range audit.New(s).CheckAll() {
+		fmt.Fprintf(&b, "violation: %s %v %s\n", v.Subsystem, v.Obj, v.Msg)
+	}
+	if err := s.Tracer().Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func corpusSeeds(t *testing.T) []int64 {
+	t.Helper()
+	f, err := os.Open("testdata/parallel_corpus.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var seeds []int64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		n, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			t.Fatalf("corpus line %q: %v", line, err)
+		}
+		seeds = append(seeds, n)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) == 0 {
+		t.Fatal("empty corpus")
+	}
+	return seeds
+}
+
+func TestParallelDifferentialFuzz(t *testing.T) {
+	for _, seed := range corpusSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			ser := buildFuzzSystem(t, seed, false)
+			par := buildFuzzSystem(t, seed, true)
+			runFuzz(t, ser)
+			runFuzz(t, par)
+			fs, fp := fuzzFingerprint(t, ser), fuzzFingerprint(t, par)
+			if fs != fp {
+				t.Fatalf("serial and parallel runs diverged for seed %d:\n--- serial ---\n%.2000s\n--- parallel ---\n%.2000s",
+					seed, fs, fp)
+			}
+			if ps := par.ParStats(); ps.Epochs == 0 {
+				t.Fatalf("parallel backend never engaged: %+v", ps)
+			}
+		})
+	}
+}

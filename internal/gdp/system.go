@@ -109,11 +109,25 @@ type System struct {
 	deadline     bool
 	deadlineBase vtime.Cycles
 
+	// Parallel host backend (parallel.go). hostpar enables it; forks are
+	// the per-processor epoch forks, built lazily; spec is non-nil only on
+	// the epoch-fork shadow systems themselves.
+	hostpar bool
+	forks   []*epochFork
+	spec    *specCtl
+
 	// Stats.
 	dispatches   uint64
 	preemptions  uint64
 	faultsSent   uint64
 	instructions uint64
+
+	// Parallel-backend stats.
+	parEpochs    uint64
+	parCommits   uint64
+	parConflicts uint64
+	parAborts    uint64
+	parReplays   uint64
 }
 
 type bodyReg struct {
@@ -146,6 +160,14 @@ type Config struct {
 	// DeadlineBase is the period scaled by priority under deadline
 	// dispatch; 0 means 100000 cycles.
 	DeadlineBase vtime.Cycles
+
+	// HostParallel opts into the parallel host backend: within each Step,
+	// every simulated processor's quantum runs on its own host goroutine
+	// against epoch-local forked state, committing in canonical processor
+	// order at a barrier. Results are byte-identical to the serial
+	// backend — any cross-processor conflict falls back to serial replay
+	// of the epoch. See parallel.go.
+	HostParallel bool
 }
 
 // New boots a system: memory, object table, the system global heap, the
@@ -199,6 +221,7 @@ func New(cfg Config) (*System, error) {
 		contention:   cfg.BusContention,
 		deadline:     cfg.DeadlineDispatch,
 		deadlineBase: deadlineBase,
+		hostpar:      cfg.HostParallel,
 		bodies:       make(map[obj.Index]bodyReg),
 	}
 	for i := 0; i < cfg.Processors; i++ {

@@ -1,0 +1,206 @@
+package mem
+
+// Epoch forks: copy-on-write views of physical memory for the parallel
+// host backend of the multiprocessor driver (internal/gdp).
+//
+// During one speculative epoch every simulated processor runs against its
+// own fork. A fork never mutates its parent: the first touch of a 256-byte
+// page copies that page into the fork's shadow image, and all subsequent
+// reads and writes land in the shadow. The fork records which pages it
+// read and which it wrote; the driver intersects those footprints across
+// processors to decide whether the epoch can commit (writes copied back to
+// the parent, in canonical processor order) or must be discarded and
+// replayed serially.
+//
+// Structural operations — Alloc, Free, Move — change the free list, which
+// cannot be speculated without renumbering allocations; a fork refuses
+// them and marks itself aborted, which the driver turns into a serial
+// replay of the whole epoch.
+//
+// Stamps are epoch numbers rather than booleans so that starting a new
+// epoch is O(1): bumping the epoch invalidates every page's copied/read/
+// written state at once.
+
+import "math/bits"
+
+const (
+	forkPageShift = 8
+	forkPageSize  = 1 << forkPageShift
+)
+
+// PageBits is a byte-granular footprint bitmap for one page: bit i set
+// means byte i of the page was touched. Pages are the index granularity;
+// bytes are the conflict granularity — first-fit allocation packs unrelated
+// objects into adjacent bytes, so page-level conflict detection would see
+// false sharing on nearly every epoch boundary page.
+type PageBits [forkPageSize / 64]uint64
+
+func (b *PageBits) setRange(lo, hi uint32) { // [lo, hi) within the page
+	for i := lo; i < hi; i++ {
+		b[i>>6] |= 1 << (i & 63)
+	}
+}
+
+type memFork struct {
+	parent    *Memory
+	shadow    []byte // full-size shadow image; valid only where copied
+	copied    []uint32
+	readS     []uint32
+	writeS    []uint32
+	readBits  []PageBits // per page, valid only where copied this epoch
+	writeBits []PageBits
+	reads     []uint32 // pages first read this epoch
+	writes    []uint32 // pages first written this epoch
+	epoch     uint32
+	abort     bool
+}
+
+// Fork returns an epoch-fork view of m. The fork shares m's backing bytes
+// read-only and shadows every page it touches; see the package notes at
+// the top of this file. Call ForkReset before each epoch, then ForkCommit
+// to publish the epoch's writes, or nothing to discard them. The fork is
+// single-goroutine; distinct forks of one parent may run concurrently as
+// long as the parent itself is quiescent.
+func (m *Memory) Fork() *Memory {
+	pages := (len(m.data) + forkPageSize - 1) / forkPageSize
+	return &Memory{
+		data: m.data, // shared, read-only through the fork
+		used: m.used,
+		fk: &memFork{
+			parent:    m,
+			shadow:    make([]byte, len(m.data)),
+			copied:    make([]uint32, pages),
+			readS:     make([]uint32, pages),
+			writeS:    make([]uint32, pages),
+			readBits:  make([]PageBits, pages),
+			writeBits: make([]PageBits, pages),
+			epoch:     1,
+		},
+	}
+}
+
+// IsFork reports whether this Memory is an epoch-fork view.
+func (m *Memory) IsFork() bool { return m.fk != nil }
+
+// ForkReset begins a new speculation epoch: footprints clear, the abort
+// flag drops, and every shadow page is considered stale. O(1) except on
+// epoch-counter wrap.
+func (m *Memory) ForkReset() {
+	fk := m.fk
+	fk.epoch++
+	if fk.epoch == 0 { // wrapped: stamps are ambiguous, scrub them
+		clear(fk.copied)
+		clear(fk.readS)
+		clear(fk.writeS)
+		fk.epoch = 1
+	}
+	fk.reads = fk.reads[:0]
+	fk.writes = fk.writes[:0]
+	fk.abort = false
+}
+
+// ForkCommit copies every byte the fork wrote this epoch back into the
+// parent. The copy is byte-exact, not page-exact: two forks may have
+// written disjoint byte ranges of a shared boundary page (no conflict),
+// and a whole-page copy from the later fork would clobber the earlier
+// fork's committed bytes with its stale shadow.
+func (m *Memory) ForkCommit() {
+	fk := m.fk
+	for _, p := range fk.writes {
+		base := p << forkPageShift
+		wb := &fk.writeBits[p]
+		for w, word := range wb {
+			for word != 0 {
+				i := bits.TrailingZeros64(word)
+				word &= word - 1
+				off := base + uint32(w)<<6 + uint32(i)
+				fk.parent.data[off] = fk.shadow[off]
+			}
+		}
+	}
+}
+
+// ForkFootprint reports the page indices the fork read and wrote this
+// epoch. The slices are owned by the fork and valid until the next
+// ForkReset.
+func (m *Memory) ForkFootprint() (reads, writes []uint32) {
+	return m.fk.reads, m.fk.writes
+}
+
+// ForkPageFootprint reports the byte-granular footprint of page p this
+// epoch: bit i of read/write set means byte i of the page was read/written.
+// Pages the fork never touched report all-zero.
+func (m *Memory) ForkPageFootprint(p uint32) (read, write PageBits) {
+	fk := m.fk
+	if p < uint32(len(fk.copied)) && fk.copied[p] == fk.epoch {
+		read, write = fk.readBits[p], fk.writeBits[p]
+	}
+	return read, write
+}
+
+// ForkAborted reports whether the fork hit a structural operation this
+// epoch and must be discarded.
+func (m *Memory) ForkAborted() bool { return m.fk.abort }
+
+// touch prepares the pages covering [b, b+n) for access and returns the
+// shadow image to index into. Every touched page is copied from the parent
+// once per epoch, so multi-byte accesses spanning pages stay coherent.
+func (fk *memFork) touch(b Addr, n uint32, write bool) []byte {
+	if n == 0 {
+		return fk.shadow
+	}
+	lo := uint32(b) >> forkPageShift
+	hi := (uint32(b) + n - 1) >> forkPageShift
+	for p := lo; p <= hi; p++ {
+		base := p << forkPageShift
+		if fk.copied[p] != fk.epoch {
+			fk.copied[p] = fk.epoch
+			end := base + forkPageSize
+			if end > uint32(len(fk.parent.data)) {
+				end = uint32(len(fk.parent.data))
+			}
+			copy(fk.shadow[base:end], fk.parent.data[base:end])
+			fk.readBits[p] = PageBits{}
+			fk.writeBits[p] = PageBits{}
+		}
+		// The byte span of [b, b+n) that lands within this page.
+		slo, shi := uint32(b), uint32(b)+n
+		if slo < base {
+			slo = base
+		}
+		if shi > base+forkPageSize {
+			shi = base + forkPageSize
+		}
+		if write {
+			fk.writeBits[p].setRange(slo-base, shi-base)
+			if fk.writeS[p] != fk.epoch {
+				fk.writeS[p] = fk.epoch
+				fk.writes = append(fk.writes, p)
+			}
+		} else {
+			fk.readBits[p].setRange(slo-base, shi-base)
+			if fk.readS[p] != fk.epoch {
+				fk.readS[p] = fk.epoch
+				fk.reads = append(fk.reads, p)
+			}
+		}
+	}
+	return fk.shadow
+}
+
+// ro returns the byte image to read [b, b+n) from: the live data for a
+// plain Memory, the fork shadow for an epoch fork.
+func (m *Memory) ro(b Addr, n uint32) []byte {
+	if m.fk != nil {
+		return m.fk.touch(b, n, false)
+	}
+	return m.data
+}
+
+// rw returns the byte image to write [b, b+n) into.
+func (m *Memory) rw(b Addr, n uint32) []byte {
+	if m.fk != nil {
+		return m.fk.touch(b, n, true)
+	}
+	return m.data
+}

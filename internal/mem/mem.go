@@ -56,6 +56,11 @@ type Memory struct {
 	data []byte
 	free []Extent // sorted by Base, coalesced
 	used uint32
+
+	// fk marks this Memory as an epoch-fork view (see fork.go): reads
+	// and writes are routed through a copy-on-write shadow and recorded
+	// as footprints, and structural operations abort the fork.
+	fk *memFork
 }
 
 // New creates a physical memory of the given size in bytes.
@@ -96,6 +101,12 @@ func (m *Memory) FragCount() int { return len(m.free) }
 // the policy simple enough to microcode (the 432 performed allocation in
 // the create-object instruction, so the policy had to be trivial).
 func (m *Memory) Alloc(n uint32) (Extent, error) {
+	if m.fk != nil {
+		// Allocation order is part of serial semantics (first-fit over
+		// the live free list); a fork cannot reproduce it speculatively.
+		m.fk.abort = true
+		return Extent{}, ErrNoMemory
+	}
 	if n == 0 {
 		n = 1 // §2: segments are from 1 byte
 	}
@@ -127,6 +138,10 @@ func (m *Memory) Alloc(n uint32) (Extent, error) {
 // on the real machine only the microcode and the collector could reach this
 // path, so corruption here meant a hardware fault.
 func (m *Memory) Free(e Extent) error {
+	if m.fk != nil {
+		m.fk.abort = true
+		return ErrNotOwned
+	}
 	if e.Len == 0 {
 		return nil
 	}
@@ -177,7 +192,8 @@ func (m *Memory) ReadByteAt(e Extent, off uint32) (byte, error) {
 	if err := m.check(e, off, 1); err != nil {
 		return 0, err
 	}
-	return m.data[e.Base+Addr(off)], nil
+	b := e.Base + Addr(off)
+	return m.ro(b, 1)[b], nil
 }
 
 // WriteByteAt writes one byte at offset off within extent e.
@@ -185,7 +201,8 @@ func (m *Memory) WriteByteAt(e Extent, off uint32, v byte) error {
 	if err := m.check(e, off, 1); err != nil {
 		return err
 	}
-	m.data[e.Base+Addr(off)] = v
+	b := e.Base + Addr(off)
+	m.rw(b, 1)[b] = v
 	return nil
 }
 
@@ -196,7 +213,8 @@ func (m *Memory) ReadWord(e Extent, off uint32) (uint16, error) {
 		return 0, err
 	}
 	b := e.Base + Addr(off)
-	return uint16(m.data[b]) | uint16(m.data[b+1])<<8, nil
+	d := m.ro(b, 2)
+	return uint16(d[b]) | uint16(d[b+1])<<8, nil
 }
 
 // WriteWord writes a 16-bit ordinal at offset off.
@@ -205,8 +223,9 @@ func (m *Memory) WriteWord(e Extent, off uint32, v uint16) error {
 		return err
 	}
 	b := e.Base + Addr(off)
-	m.data[b] = byte(v)
-	m.data[b+1] = byte(v >> 8)
+	d := m.rw(b, 2)
+	d[b] = byte(v)
+	d[b+1] = byte(v >> 8)
 	return nil
 }
 
@@ -216,8 +235,9 @@ func (m *Memory) ReadDWord(e Extent, off uint32) (uint32, error) {
 		return 0, err
 	}
 	b := e.Base + Addr(off)
-	return uint32(m.data[b]) | uint32(m.data[b+1])<<8 |
-		uint32(m.data[b+2])<<16 | uint32(m.data[b+3])<<24, nil
+	d := m.ro(b, 4)
+	return uint32(d[b]) | uint32(d[b+1])<<8 |
+		uint32(d[b+2])<<16 | uint32(d[b+3])<<24, nil
 }
 
 // WriteDWord writes a 32-bit value at offset off.
@@ -226,10 +246,11 @@ func (m *Memory) WriteDWord(e Extent, off uint32, v uint32) error {
 		return err
 	}
 	b := e.Base + Addr(off)
-	m.data[b] = byte(v)
-	m.data[b+1] = byte(v >> 8)
-	m.data[b+2] = byte(v >> 16)
-	m.data[b+3] = byte(v >> 24)
+	d := m.rw(b, 4)
+	d[b] = byte(v)
+	d[b+1] = byte(v >> 8)
+	d[b+2] = byte(v >> 16)
+	d[b+3] = byte(v >> 24)
 	return nil
 }
 
@@ -238,8 +259,9 @@ func (m *Memory) ReadBytes(e Extent, off, n uint32) ([]byte, error) {
 	if err := m.check(e, off, n); err != nil {
 		return nil, err
 	}
+	b := e.Base + Addr(off)
 	out := make([]byte, n)
-	copy(out, m.data[e.Base+Addr(off):])
+	copy(out, m.ro(b, n)[b:])
 	return out, nil
 }
 
@@ -248,7 +270,8 @@ func (m *Memory) WriteBytes(e Extent, off uint32, p []byte) error {
 	if err := m.check(e, off, uint32(len(p))); err != nil {
 		return err
 	}
-	copy(m.data[e.Base+Addr(off):], p)
+	b := e.Base + Addr(off)
+	copy(m.rw(b, uint32(len(p)))[b:], p)
 	return nil
 }
 

@@ -1,0 +1,141 @@
+package obj
+
+import "repro/internal/mem"
+
+// Epoch forks of the object table, for the parallel host backend of the
+// multiprocessor driver (internal/gdp).
+//
+// A fork is a Table whose descriptor lookups are routed through an
+// epoch-local shadow: the first touch of a descriptor slot copies it from
+// the parent, and every later read or write (the gray-bit shading in
+// StoreAD, level rewrites, swap state) lands in the shadow copy. Memory
+// accesses go through an epoch fork of the parent's physical memory
+// (mem.Fork), which shadows 256-byte pages the same way. The parent table
+// is never mutated during speculation.
+//
+// At the end of an epoch the driver asks each fork for its footprint —
+// descriptors touched, descriptors actually changed (detected by comparing
+// shadow against parent), memory pages read and written — and commits the
+// forks in canonical processor order only if the footprints are pairwise
+// non-conflicting. Any structural operation (object creation or
+// destruction, swapping, collector entry points) cannot be replayed
+// against the shadow without renumbering table slots or the free list, so
+// it marks the fork aborted; the driver then discards every fork and
+// replays the epoch serially, which is trivially byte-identical to the
+// serial backend because speculation never touched real state.
+type tableFork struct {
+	parent  *Table
+	shadow  []Descriptor
+	stamp   []uint32 // epoch when shadow[i] was copied from the parent
+	touched []Index  // slots copied this epoch (the read footprint)
+	epoch   uint32
+	abort   bool
+}
+
+// Fork returns an epoch-fork view of the table: same objects, same
+// generations, but all descriptor and memory mutation lands in epoch-local
+// shadows. Call ForkReset before each epoch; ForkCommit publishes the
+// epoch's changes into the parent. The fork is single-goroutine; distinct
+// forks of one parent may run concurrently while the parent is quiescent.
+// The fork starts with no tracer — install a private one with SetTracer.
+func (t *Table) Fork() *Table {
+	return &Table{
+		mem: t.mem.Fork(),
+		fk: &tableFork{
+			parent: t,
+			epoch:  1,
+		},
+	}
+}
+
+// IsFork reports whether this table is an epoch-fork view.
+func (t *Table) IsFork() bool { return t.fk != nil }
+
+// ForkReset begins a new speculation epoch: the shadow empties, the
+// footprints clear, the abort flag drops, and the per-epoch stats counters
+// rewind. O(1) in the table size except when the parent grew.
+func (t *Table) ForkReset() {
+	fk := t.fk
+	fk.epoch++
+	if fk.epoch == 0 { // stamp wrap: scrub rather than alias epochs
+		clear(fk.stamp)
+		fk.epoch = 1
+	}
+	if n := len(fk.parent.descs); n > len(fk.shadow) {
+		fk.shadow = append(fk.shadow, make([]Descriptor, n-len(fk.shadow))...)
+		fk.stamp = append(fk.stamp, make([]uint32, n-len(fk.stamp))...)
+	}
+	fk.touched = fk.touched[:0]
+	fk.abort = false
+	t.adStores, t.grayings = 0, 0
+	t.mem.ForkReset()
+}
+
+// ForkAborted reports whether this epoch hit a structural operation (in
+// the table or in memory) and must be discarded.
+func (t *Table) ForkAborted() bool { return t.fk.abort || t.mem.ForkAborted() }
+
+// ForkTouched reports the descriptor slots this fork resolved this epoch —
+// its descriptor read footprint. The slice is owned by the fork and valid
+// until the next ForkReset.
+func (t *Table) ForkTouched() []Index { return t.fk.touched }
+
+// ForkDescWrites reports the descriptor slots whose shadow copy differs
+// from the parent — the fork's descriptor write footprint.
+func (t *Table) ForkDescWrites() []Index {
+	fk := t.fk
+	var out []Index
+	for _, idx := range fk.touched {
+		if fk.shadow[idx] != fk.parent.descs[idx] {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// ForkPages reports the memory pages the fork read and wrote this epoch.
+func (t *Table) ForkPages() (reads, writes []uint32) { return t.mem.ForkFootprint() }
+
+// ForkPageFootprint reports the byte-granular footprint of one memory page
+// this epoch, for the driver's conflict refinement on shared boundary pages.
+func (t *Table) ForkPageFootprint(p uint32) (read, write mem.PageBits) {
+	return t.mem.ForkPageFootprint(p)
+}
+
+// ForkCommit publishes the epoch into the parent: changed descriptors,
+// written memory pages, and the per-epoch stats deltas. The driver calls
+// this only after establishing that no other fork's footprint overlaps.
+func (t *Table) ForkCommit() {
+	fk := t.fk
+	for _, idx := range fk.touched {
+		if fk.shadow[idx] != fk.parent.descs[idx] {
+			fk.parent.descs[idx] = fk.shadow[idx]
+		}
+	}
+	fk.parent.adStores += t.adStores
+	fk.parent.grayings += t.grayings
+	t.mem.ForkCommit()
+}
+
+// slot returns the descriptor at idx, routed through the epoch shadow for
+// forks. The caller has bounds-checked idx against Len.
+func (t *Table) slot(idx Index) *Descriptor {
+	if fk := t.fk; fk != nil {
+		if fk.stamp[idx] != fk.epoch {
+			fk.stamp[idx] = fk.epoch
+			fk.shadow[idx] = fk.parent.descs[idx]
+			fk.touched = append(fk.touched, idx)
+		}
+		return &fk.shadow[idx]
+	}
+	return &t.descs[idx]
+}
+
+// forkBar marks the fork aborted and manufactures the fault every
+// structural entry point returns during speculation. The fault never
+// becomes visible — the driver discards the fork wholesale — but returning
+// one keeps the caller's control flow honest.
+func (t *Table) forkBar(what string) *Fault {
+	t.fk.abort = true
+	return Faultf(FaultOddity, NilAD, "%s is barred during epoch speculation", what)
+}

@@ -94,6 +94,11 @@ type Table struct {
 	// emission site checks for nil locally so the disabled path is one
 	// branch.
 	tr *trace.Log
+
+	// fk marks this table as an epoch-fork view (see fork.go): descriptor
+	// lookups route through a copy-on-touch shadow and structural
+	// operations abort the fork.
+	fk *tableFork
 }
 
 // NewTable creates an object table over a fresh physical memory of the
@@ -112,11 +117,21 @@ func NewTable(memSize uint32) *Table {
 func (t *Table) Memory() *mem.Memory { return t.mem }
 
 // Live reports the number of valid objects.
-func (t *Table) Live() int { return t.live }
+func (t *Table) Live() int {
+	if fk := t.fk; fk != nil {
+		return fk.parent.live // forks neither create nor destroy
+	}
+	return t.live
+}
 
 // Len reports the number of table slots ever allocated (including free
 // ones); the collector sweeps this range.
-func (t *Table) Len() int { return len(t.descs) }
+func (t *Table) Len() int {
+	if fk := t.fk; fk != nil {
+		return len(fk.parent.descs)
+	}
+	return len(t.descs)
+}
 
 // Stats reports object-layer event counts used by the benchmarks.
 func (t *Table) Stats() (created, destroyed, adStores, grayings uint64) {
@@ -137,10 +152,10 @@ func (t *Table) Tracer() *trace.Log { return t.tr }
 // the generation must match. It returns the descriptor for inspection.
 // Mutation must go through the table's methods.
 func (t *Table) Resolve(a AD) (*Descriptor, *Fault) {
-	if !a.Valid() || int(a.Index) >= len(t.descs) {
+	if !a.Valid() || int(a.Index) >= t.Len() {
 		return nil, Faultf(FaultInvalidAD, a, "no such object")
 	}
-	d := &t.descs[a.Index]
+	d := t.slot(a.Index)
 	if !d.Valid || d.Gen&adGenMask != a.Gen&adGenMask {
 		return nil, Faultf(FaultInvalidAD, a, "object destroyed (dangling capability)")
 	}
@@ -189,6 +204,11 @@ type CreateSpec struct {
 // instruction; internal/sro adds the storage-claim accounting and level
 // assignment on top.
 func (t *Table) Create(spec CreateSpec) (AD, *Fault) {
+	if t.fk != nil {
+		// Slot and extent allocation order is serial semantics a fork
+		// cannot reproduce; the epoch falls back to serial replay.
+		return NilAD, t.forkBar("object creation")
+	}
 	if spec.Type == TypeInvalid || spec.Type >= numTypes {
 		return NilAD, Faultf(FaultType, NilAD, "cannot create objects of %s", spec.Type)
 	}
@@ -265,6 +285,9 @@ func (t *Table) Destroy(a AD) *Fault {
 // only the collector and SRO teardown use it (they operate below the
 // capability discipline, as the real microcode did).
 func (t *Table) DestroyIndex(idx Index) *Fault {
+	if t.fk != nil {
+		return t.forkBar("object destruction")
+	}
 	if int(idx) >= len(t.descs) || idx == NilIndex {
 		return Faultf(FaultInvalidAD, AD{Index: idx}, "no such object")
 	}
@@ -276,6 +299,9 @@ func (t *Table) DestroyIndex(idx Index) *Fault {
 }
 
 func (t *Table) destroyDesc(idx Index, d *Descriptor) *Fault {
+	if t.fk != nil {
+		return t.forkBar("object destruction")
+	}
 	if l := t.tr; l != nil {
 		l.Emit(trace.EvObjDestroy, uint32(idx), uint32(d.Type), 0)
 	}

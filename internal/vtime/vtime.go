@@ -113,6 +113,18 @@ func (c *Clock) AdvanceTo(t Cycles) bool {
 	return true
 }
 
+// CapAt pulls the clock back to t if it has run past it, reporting whether
+// it moved. This is the one sanctioned exception to monotonicity: the
+// driver's Run clamps each processor to the run budget after the final
+// quantum, so a budgeted run never reports more elapsed time than asked for.
+func (c *Clock) CapAt(t Cycles) bool {
+	if c.now <= t {
+		return false
+	}
+	c.now = t
+	return true
+}
+
 // Max returns the later of two instants.
 func Max(a, b Cycles) Cycles {
 	if a > b {
