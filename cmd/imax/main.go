@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	imax [-cpus N] [-mem BYTES] [-swapping] [-gc] [-hostpar] [-demo NAME]
-//	     [-trace] [-audit] [-itrace N] [-inspect]
+//	imax [-cpus N] [-mem BYTES] [-swapping] [-gc] [-hostpar] [-noxcache]
+//	     [-demo NAME] [-trace] [-audit] [-itrace N] [-inspect]
 //
 // Demos: ports (default), compute, gc, io.
 //
@@ -39,6 +39,7 @@ func main() {
 	swapping := flag.Bool("swapping", false, "select the swapping memory manager")
 	gcOn := flag.Bool("gc", true, "run the on-the-fly collector daemon")
 	hostpar := flag.Bool("hostpar", false, "run each simulated processor's quantum on its own host goroutine (results identical to serial)")
+	noxcache := flag.Bool("noxcache", false, "disable the per-processor execution cache (results identical either way)")
 	demo := flag.String("demo", "ports", "workload: ports | compute | gc | io")
 	inspectFlag := flag.Bool("inspect", false, "dump the object population after the workload")
 	traceFlag := flag.Bool("trace", false, "enable the kernel event log; print counters and tail at exit")
@@ -54,6 +55,7 @@ func main() {
 		Filing:       true,
 		Trace:        *traceFlag,
 		HostParallel: *hostpar,
+		NoExecCache:  *noxcache,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -10,32 +10,73 @@
 //	imaxbench -list                list experiment ids
 //	imaxbench -md                  emit Markdown (for EXPERIMENTS.md)
 //	imaxbench -bench-pr2 OUT.json  host-parallel backend smoke benchmark
+//	imaxbench -bench-pr3 OUT.json  execution-cache benchmark (backend × cache)
+//	imaxbench -cpuprofile CPU.pprof -memprofile MEM.pprof ...
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
 )
 
+// main delegates to run so profile-stopping defers fire before exit.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	runID := flag.String("run", "", "run a single experiment id (e.g. E3)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	md := flag.Bool("md", false, "emit Markdown instead of plain text")
 	benchPR2 := flag.String("bench-pr2", "", "run the host-parallel smoke benchmark and write the JSON report here")
+	benchPR3 := flag.String("bench-pr3", "", "run the execution-cache benchmark and write the JSON report here")
+	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile here")
+	memprofile := flag.String("memprofile", "", "write a host heap profile here on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "imaxbench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "imaxbench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "imaxbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "imaxbench:", err)
+			}
+		}()
+	}
 
 	if *benchPR2 != "" {
 		rep, err := experiments.BenchPR2(*benchPR2, 3)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "imaxbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("bench-pr2: host %d cpus, GOMAXPROCS %d (%s)\n",
 			rep.HostCPUs, rep.GOMAXPROCS, rep.GoVersion)
+		warnSingleCPU(rep.GOMAXPROCS)
 		for _, r := range rep.Runs {
 			fmt.Printf("  %-12s %d cpus, %2d workers: serial %8.2fms, parallel %8.2fms, speedup %.2fx"+
 				" (epochs %d, commits %d, conflicts %d, aborts %d)\n",
@@ -44,18 +85,45 @@ func main() {
 				r.ParEpochs, r.ParCommits, r.ParConflicts, r.ParAborts)
 			if !r.ResultsEqual {
 				fmt.Fprintf(os.Stderr, "imaxbench: %s: backend results diverged\n", r.Workload)
-				os.Exit(1)
+				return 1
 			}
 		}
 		fmt.Println("report:", *benchPR2)
-		return
+		return 0
+	}
+
+	if *benchPR3 != "" {
+		rep, err := experiments.BenchPR3(*benchPR3, 3)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "imaxbench:", err)
+			return 1
+		}
+		fmt.Printf("bench-pr3: host %d cpus, GOMAXPROCS %d (%s)\n",
+			rep.HostCPUs, rep.GOMAXPROCS, rep.GoVersion)
+		warnSingleCPU(rep.GOMAXPROCS)
+		for _, r := range rep.Runs {
+			fmt.Printf("  %-12s %d cpus, %2d workers:\n", r.Workload, r.Processors, r.Workers)
+			fmt.Printf("    serial   uncached %8.2fms, cached %8.2fms: cache speedup %.2fx\n",
+				float64(r.SerialUncachedNs)/1e6, float64(r.SerialCachedNs)/1e6, r.CacheSpeedupSerial)
+			fmt.Printf("    parallel uncached %8.2fms, cached %8.2fms: cache speedup %.2fx, vs serial cached %.2fx\n",
+				float64(r.ParallelUncachedNs)/1e6, float64(r.ParallelCachedNs)/1e6,
+				r.CacheSpeedupParallel, r.ParallelSpeedup)
+			fmt.Printf("    epochs %d, commits %d, conflicts %d, aborts %d, cooldowns %d\n",
+				r.ParEpochs, r.ParCommits, r.ParConflicts, r.ParAborts, r.ParCooldowns)
+			if !r.ResultsEqual {
+				fmt.Fprintf(os.Stderr, "imaxbench: %s: corner results diverged\n", r.Workload)
+				return 1
+			}
+		}
+		fmt.Println("report:", *benchPR3)
+		return 0
 	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
 
 	var results []*experiments.Result
@@ -63,7 +131,7 @@ func main() {
 		res, err := experiments.Run(*runID)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "imaxbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		results = append(results, res)
 	} else {
@@ -71,7 +139,7 @@ func main() {
 		results, err = experiments.RunAll()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "imaxbench:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -87,12 +155,23 @@ func main() {
 		}
 	}
 	if *md {
-		return
+		return 0
 	}
 	fmt.Printf("\n%d experiments, %d reproduced the paper's shape, %d did not\n",
 		len(results), len(results)-failed, failed)
 	if failed > 0 {
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+// warnSingleCPU flags reports measured without host parallelism: the
+// parallel backend cannot beat serial on one scheduling core, so its
+// ratios there say nothing about the backend.
+func warnSingleCPU(gomaxprocs int) {
+	if gomaxprocs == 1 {
+		fmt.Fprintln(os.Stderr,
+			"imaxbench: warning: GOMAXPROCS=1 — parallel-backend speedups are meaningless on this host")
 	}
 }
 

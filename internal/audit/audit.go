@@ -21,7 +21,11 @@
 //     references a white one — and pinned roots are never white (§8.1);
 //   - dispatching: processor root slots agree with the on-chip binding,
 //     no process is bound to two processors, every running process is
-//     bound, and the dispatching port holds only distinct processes (§5).
+//     bound, and the dispatching port holds only distinct processes (§5);
+//   - execution caches: every live per-CPU interpreter cache still agrees
+//     with the object table — context identity, window placement, operand
+//     resolutions — so a missed generation bump surfaces as a violation
+//     instead of silent wrong execution.
 //
 // Checks never mutate. Each returns a slice of Violations; Check adapts
 // the whole suite to a testing.TB-shaped interface so every scenario test
@@ -41,7 +45,7 @@ import (
 
 // Violation is one observed breach of a kernel invariant.
 type Violation struct {
-	Subsystem string // "obj", "sro", "port", "gc", "sched"
+	Subsystem string // "obj", "sro", "port", "gc", "sched", "xcache"
 	Obj       obj.Index
 	Msg       string
 }
@@ -89,6 +93,7 @@ func (a *Auditor) CheckAll() []Violation {
 	out = append(out, a.CheckPorts()...)
 	out = append(out, a.CheckTricolor()...)
 	out = append(out, a.CheckScheduler()...)
+	out = append(out, a.CheckExecCache()...)
 	return out
 }
 
@@ -448,6 +453,30 @@ func (a *Auditor) CheckScheduler() []Violation {
 			bad(s.Msg.Index, "process queued at the dispatch port twice")
 		}
 		seen[s.Msg.Index] = true
+	}
+	return out
+}
+
+// CheckExecCache validates the interpreter's per-CPU execution caches
+// against the object table: every current-generation cache must pin the
+// bound process's actual current context, windows that are the table's own
+// view of the context's extents, and operand entries that still resolve to
+// the windows they cache. A violation here means some aliasing operation
+// failed to bump the table's cache generation — the stale-cache bug class
+// the generation discipline exists to make impossible.
+func (a *Auditor) CheckExecCache() []Violation {
+	if a.Sys == nil {
+		return nil
+	}
+	var out []Violation
+	for _, rec := range a.Sys.AuditExecCaches() {
+		for _, p := range rec.Problems {
+			out = append(out, Violation{
+				Subsystem: "xcache",
+				Obj:       rec.Ctx.Index,
+				Msg:       fmt.Sprintf("cpu %d (process %d): %s", rec.CPU, rec.Proc.Index, p),
+			})
+		}
 	}
 	return out
 }

@@ -83,6 +83,11 @@ type Config struct {
 	// simulated processor's quantum runs on its own host goroutine, with
 	// results byte-identical to the serial backend (see internal/gdp).
 	HostParallel bool
+
+	// NoExecCache disables the per-processor execution cache (see
+	// internal/gdp); results are byte-identical either way, so this is a
+	// debugging and benchmarking knob, not a semantic switch.
+	NoExecCache bool
 }
 
 // IMAX is a configured, running system.
@@ -128,6 +133,7 @@ func Boot(cfg Config) (*IMAX, error) {
 		Processors:   cfg.Processors,
 		MemoryBytes:  cfg.MemoryBytes,
 		HostParallel: cfg.HostParallel,
+		NoExecCache:  cfg.NoExecCache,
 	})
 	if err != nil {
 		return nil, err

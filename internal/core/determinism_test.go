@@ -13,8 +13,9 @@ import (
 // traceRun boots a traced system, runs a seeded mixed workload with
 // random stop/start and processor-outage perturbations, and returns the
 // full trace dump plus the final counters. hostpar selects the parallel
-// host backend, which promises byte-identical results.
-func traceRun(t *testing.T, seed int64, hostpar bool) (string, []uint64) {
+// host backend and nocache disables the per-processor execution cache;
+// both promise byte-identical results.
+func traceRun(t *testing.T, seed int64, hostpar, nocache bool) (string, []uint64) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	im, err := Boot(Config{
@@ -28,6 +29,7 @@ func traceRun(t *testing.T, seed int64, hostpar bool) (string, []uint64) {
 		// equal tails even if the runs diverged early.
 		TraceCapacity: 1 << 18,
 		HostParallel:  hostpar,
+		NoExecCache:   nocache,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -102,8 +104,8 @@ func traceRun(t *testing.T, seed int64, hostpar bool) (string, []uint64) {
 // wall-clock dependence sneaking into a kernel path shows up here as a
 // diverging trace.
 func TestTraceDeterminism(t *testing.T) {
-	dump1, counts1 := traceRun(t, 42, false)
-	dump2, counts2 := traceRun(t, 42, false)
+	dump1, counts1 := traceRun(t, 42, false, false)
+	dump2, counts2 := traceRun(t, 42, false, false)
 	if dump1 != dump2 {
 		d1, d2 := strings.Split(dump1, "\n"), strings.Split(dump2, "\n")
 		for i := 0; i < len(d1) && i < len(d2); i++ {
@@ -124,9 +126,36 @@ func TestTraceDeterminism(t *testing.T) {
 
 	// A different seed perturbs differently and must diverge — otherwise
 	// the test above proves nothing.
-	dump3, _ := traceRun(t, 7, false)
+	dump3, _ := traceRun(t, 7, false, false)
 	if dump3 == dump1 {
 		t.Error("different seeds produced identical traces; perturbation ineffective")
+	}
+}
+
+// TestTraceDeterminismNoCache is the execution cache's contract test: a
+// run with the per-processor execution cache disabled must produce the
+// byte-identical kernel event log and counters of the default (cached)
+// run with the same seed. Any fast-path shortcut that changes a fault,
+// a cost, or a trace byte shows up here.
+func TestTraceDeterminismNoCache(t *testing.T) {
+	cached, counts1 := traceRun(t, 42, false, false)
+	uncached, counts2 := traceRun(t, 42, false, true)
+	if cached != uncached {
+		c, u := strings.Split(cached, "\n"), strings.Split(uncached, "\n")
+		for i := 0; i < len(c) && i < len(u); i++ {
+			if c[i] != u[i] {
+				t.Fatalf("trace diverges at event %d:\n  cached:   %s\n  uncached: %s", i, c[i], u[i])
+			}
+		}
+		t.Fatalf("trace lengths differ: %d vs %d lines", len(c), len(u))
+	}
+	if len(cached) == 0 {
+		t.Fatal("empty trace dump")
+	}
+	for k, c := range counts1 {
+		if counts2[k] != c {
+			t.Errorf("counter %v: %d vs %d", trace.Kind(k), c, counts2[k])
+		}
 	}
 }
 
@@ -136,8 +165,8 @@ func TestTraceDeterminism(t *testing.T) {
 // any unsynchronised sharing between epoch forks is a failure even when
 // the bytes happen to match.
 func TestTraceDeterminismParallel(t *testing.T) {
-	serial, counts1 := traceRun(t, 42, false)
-	parallel, counts2 := traceRun(t, 42, true)
+	serial, counts1 := traceRun(t, 42, false, false)
+	parallel, counts2 := traceRun(t, 42, true, false)
 	if serial != parallel {
 		s, p := strings.Split(serial, "\n"), strings.Split(parallel, "\n")
 		for i := 0; i < len(s) && i < len(p); i++ {

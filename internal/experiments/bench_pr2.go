@@ -85,10 +85,10 @@ func BenchPR2(path string, reps int) (*BenchPR2Report, error) {
 	)
 	workloads := []workload{
 		{"e3-compute", computeCPUs, computeWorkers, func(hostpar bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
-			return benchCompute(computeCPUs, computeWorkers, computeIters, hostpar)
+			return benchCompute(computeCPUs, computeWorkers, computeIters, hostpar, false)
 		}},
 		{"e12-pingpong", 2, 2, func(hostpar bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
-			return benchPingPong(pingpongMsgs, hostpar)
+			return benchPingPong(pingpongMsgs, hostpar, false)
 		}},
 	}
 	for _, w := range workloads {
@@ -152,8 +152,8 @@ func BenchPR2(path string, reps int) (*BenchPR2Report, error) {
 // run-to-completion workers (no time slice, so no per-epoch dispatch-port
 // writes) spread over several processors. The returned sum folds every
 // worker's result so the backends can be compared.
-func benchCompute(cpus, workers int, iters uint32, hostpar bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
-	sys, err := gdp.New(gdp.Config{Processors: cpus, HostParallel: hostpar})
+func benchCompute(cpus, workers int, iters uint32, hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
+	sys, err := gdp.New(gdp.Config{Processors: cpus, HostParallel: hostpar, NoExecCache: nocache})
 	if err != nil {
 		return 0, 0, gdp.ParStats{}, err
 	}
@@ -199,8 +199,8 @@ func benchCompute(cpus, workers int, iters uint32, hostpar bool) (vtime.Cycles, 
 // communicates, so the parallel backend should conflict-and-replay its way
 // to the same result. The sum is the total of both processors' dispatch
 // counters — equal iff the replay really reproduced the serial run.
-func benchPingPong(msgs int, hostpar bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
-	sys, err := gdp.New(gdp.Config{Processors: 2, HostParallel: hostpar})
+func benchPingPong(msgs int, hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
+	sys, err := gdp.New(gdp.Config{Processors: 2, HostParallel: hostpar, NoExecCache: nocache})
 	if err != nil {
 		return 0, 0, gdp.ParStats{}, err
 	}

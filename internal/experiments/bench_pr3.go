@@ -1,0 +1,241 @@
+package experiments
+
+// BenchPR3 is the execution-cache benchmark: every workload runs at all
+// four corners of {serial, parallel backend} × {cache on, off}, and the
+// report records host wall-clock for each plus the derived ratios. Three
+// workload shapes bracket the cache's envelope:
+//
+//   - E3-shaped compute: run-to-completion countdown loops — the fast
+//     path handles nearly every instruction, so the cached/uncached ratio
+//     here is the headline number.
+//   - E12-shaped ping-pong: blocking port traffic — almost no
+//     instruction is a fast op, so the interesting number is that the
+//     cache costs nothing when it cannot help, and that the parallel
+//     backend's abort cooldown stops it burning fork setups on a
+//     workload that can never commit.
+//   - Register-heavy inner loop: long runs of reg-reg ALU ops between
+//     branches, the best case for pinned register windows.
+//
+// The four corners must agree exactly on virtual cycles and results —
+// the determinism contract — so results_equal is a correctness gate, not
+// an observation. host_cpus and gomaxprocs are recorded because parallel
+// speedups on a single-core host read as the host's fault, not the
+// backend's (BENCH_pr2.json was recorded on such a host).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/gdp"
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/vtime"
+)
+
+// BenchPR3Run is one workload measured at all four backend × cache
+// corners (best of `reps` host wall-clock each).
+type BenchPR3Run struct {
+	Workload   string `json:"workload"`
+	Processors int    `json:"processors"`
+	Workers    int    `json:"workers"`
+
+	SerialUncachedNs   int64 `json:"serial_uncached_ns"`
+	SerialCachedNs     int64 `json:"serial_cached_ns"`
+	ParallelUncachedNs int64 `json:"parallel_uncached_ns"`
+	ParallelCachedNs   int64 `json:"parallel_cached_ns"`
+
+	// CacheSpeedupSerial is the tentpole ratio: serial uncached over
+	// serial cached. CacheSpeedupParallel is the same ratio under the
+	// parallel backend; ParallelSpeedup compares the two cached
+	// backends (host-core dependent).
+	CacheSpeedupSerial   float64 `json:"cache_speedup_serial"`
+	CacheSpeedupParallel float64 `json:"cache_speedup_parallel"`
+	ParallelSpeedup      float64 `json:"parallel_speedup"`
+
+	// Virtual results must agree across all four corners; cycles is the
+	// simulated elapsed time, identical by the determinism contract.
+	VirtualCycles uint64 `json:"virtual_cycles"`
+	ResultsEqual  bool   `json:"results_equal"`
+
+	// Parallel-backend epoch counters for the parallel-cached run.
+	ParEpochs    uint64 `json:"par_epochs"`
+	ParCommits   uint64 `json:"par_commits"`
+	ParConflicts uint64 `json:"par_conflicts"`
+	ParAborts    uint64 `json:"par_aborts"`
+	ParCooldowns uint64 `json:"par_cooldowns"`
+}
+
+// BenchPR3Report is the JSON artifact written by imaxbench -bench-pr3.
+type BenchPR3Report struct {
+	HostCPUs   int           `json:"host_cpus"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	GoVersion  string        `json:"go_version"`
+	Runs       []BenchPR3Run `json:"runs"`
+}
+
+// BenchPR3 runs every workload at all four corners (best of `reps` host
+// wall-clock) and writes the JSON report to path.
+func BenchPR3(path string, reps int) (*BenchPR3Report, error) {
+	if reps <= 0 {
+		reps = 3
+	}
+	rep := &BenchPR3Report{
+		HostCPUs:   runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	type workload struct {
+		name       string
+		processors int
+		workers    int
+		run        func(hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error)
+	}
+	const (
+		computeCPUs    = 6
+		computeWorkers = 24
+		computeIters   = 50_000
+		pingpongMsgs   = 3_000
+		regloopCPUs    = 4
+		regloopWorkers = 8
+		regloopIters   = 20_000
+	)
+	workloads := []workload{
+		{"e3-compute", computeCPUs, computeWorkers, func(hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
+			return benchCompute(computeCPUs, computeWorkers, computeIters, hostpar, nocache)
+		}},
+		{"e12-pingpong", 2, 2, func(hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
+			return benchPingPong(pingpongMsgs, hostpar, nocache)
+		}},
+		{"reg-loop", regloopCPUs, regloopWorkers, func(hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
+			return benchRegLoop(regloopCPUs, regloopWorkers, regloopIters, hostpar, nocache)
+		}},
+	}
+	type corner struct {
+		hostpar, nocache bool
+	}
+	corners := []corner{
+		{false, true},  // serial uncached: the reference semantics
+		{false, false}, // serial cached: the tentpole comparison
+		{true, true},   // parallel uncached
+		{true, false},  // parallel cached
+	}
+	for _, w := range workloads {
+		var ns [4]int64
+		var cy [4]vtime.Cycles
+		var sum [4]uint64
+		var ps gdp.ParStats
+		for i := 0; i < reps; i++ {
+			for ci, c := range corners {
+				t0 := time.Now()
+				ccy, csum, st, err := w.run(c.hostpar, c.nocache)
+				d := time.Since(t0).Nanoseconds()
+				if err != nil {
+					return nil, fmt.Errorf("%s hostpar=%v nocache=%v: %w", w.name, c.hostpar, c.nocache, err)
+				}
+				if i == 0 || d < ns[ci] {
+					ns[ci] = d
+				}
+				cy[ci], sum[ci] = ccy, csum
+				if c.hostpar && !c.nocache {
+					ps = st
+				}
+			}
+		}
+		equal := true
+		for ci := 1; ci < len(corners); ci++ {
+			if cy[ci] != cy[0] {
+				return nil, fmt.Errorf("%s: virtual time diverged: corner %d ran %d cycles vs reference %d",
+					w.name, ci, cy[ci], cy[0])
+			}
+			if sum[ci] != sum[0] {
+				equal = false
+			}
+		}
+		rep.Runs = append(rep.Runs, BenchPR3Run{
+			Workload:             w.name,
+			Processors:           w.processors,
+			Workers:              w.workers,
+			SerialUncachedNs:     ns[0],
+			SerialCachedNs:       ns[1],
+			ParallelUncachedNs:   ns[2],
+			ParallelCachedNs:     ns[3],
+			CacheSpeedupSerial:   float64(ns[0]) / float64(ns[1]),
+			CacheSpeedupParallel: float64(ns[2]) / float64(ns[3]),
+			ParallelSpeedup:      float64(ns[1]) / float64(ns[3]),
+			VirtualCycles:        uint64(cy[0]),
+			ResultsEqual:         equal,
+			ParEpochs:            ps.Epochs,
+			ParCommits:           ps.Commits,
+			ParConflicts:         ps.Conflicts,
+			ParAborts:            ps.Aborts,
+			ParCooldowns:         ps.Cooldowns,
+		})
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// benchRegLoop is the register-pressure shape: a long inner loop that is
+// nothing but reg-reg ALU traffic between branches — every instruction
+// hits the pinned register window, so this is the fast path's best case.
+// The sum folds every worker's accumulator so the corners can be
+// compared.
+func benchRegLoop(cpus, workers int, iters uint32, hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
+	sys, err := gdp.New(gdp.Config{Processors: cpus, HostParallel: hostpar, NoExecCache: nocache})
+	if err != nil {
+		return 0, 0, gdp.ParStats{}, err
+	}
+	results := make([]obj.AD, workers)
+	for i := range results {
+		r, f := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+		if f != nil {
+			return 0, 0, gdp.ParStats{}, f
+		}
+		dom, f := makeDomain(sys, []isa.Instr{
+			isa.MovI(1, iters+uint32(i)), // countdown
+			isa.MovI(0, 0),               // accumulator
+			isa.MovI(2, 3),               // stride
+			isa.Add(0, 0, 2),             // loop: 8 ALU ops, then the branch
+			isa.Mul(3, 0, 2),
+			isa.Sub(4, 3, 0),
+			isa.Mov(5, 4),
+			isa.Add(0, 0, 5),
+			isa.Sub(6, 0, 2),
+			isa.Mov(7, 6),
+			isa.AddI(1, 1, ^uint32(0)),
+			isa.BrNZ(1, 3),
+			isa.Store(0, 0, 0),
+			isa.Halt(),
+		})
+		if f != nil {
+			return 0, 0, gdp.ParStats{}, f
+		}
+		if _, f := sys.Spawn(dom, gdp.SpawnSpec{AArgs: [4]obj.AD{r}}); f != nil {
+			return 0, 0, gdp.ParStats{}, f
+		}
+		results[i] = r
+	}
+	elapsed, f := sys.Run(0)
+	if f != nil {
+		return 0, 0, gdp.ParStats{}, f
+	}
+	var sum uint64
+	for _, r := range results {
+		v, f := sys.Table.ReadDWord(r, 0)
+		if f != nil {
+			return 0, 0, gdp.ParStats{}, f
+		}
+		sum += uint64(v)
+	}
+	return elapsed, sum, sys.ParStats(), nil
+}

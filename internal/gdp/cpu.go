@@ -19,6 +19,11 @@ type CPU struct {
 	sliceLeft vtime.Cycles // remaining quantum; 0 means unlimited
 	offline   bool         // taken out of service; dispatches nothing
 
+	// xc is the execution cache (xcache.go): pinned windows over the
+	// bound process's hot state, validated per instruction against the
+	// table's cache generation. Lazily allocated, reused across primes.
+	xc *execCache
+
 	// Per-CPU stats.
 	Dispatches   uint64
 	Instructions uint64

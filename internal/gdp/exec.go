@@ -45,6 +45,12 @@ func (s *System) Step(quantum vtime.Cycles) (bool, *obj.Fault) {
 		s.busyThisStep = busy
 	}
 	if s.parallelEligible() {
+		if s.parCoolLeft > 0 {
+			// Abort backoff: recent epochs kept discarding, so run
+			// serially for a while before paying for speculation again.
+			s.parCoolLeft--
+			return s.stepSerial(quantum)
+		}
 		return s.stepParallel(quantum)
 	}
 	return s.stepSerial(quantum)
@@ -308,8 +314,22 @@ func (s *System) stepVM(cpu *CPU, quantum vtime.Cycles) *obj.Fault {
 
 // execOne fetches, decodes and executes a single instruction of the bound
 // process, charging its cost to the processor clock. A returned fault is
-// the process's, not the system's.
+// the process's, not the system's. The cached fast path (xcache.go) runs
+// whenever the per-CPU execution cache is current; anything it cannot
+// prove safe falls through — with machine state untouched — to the slow
+// path, which re-derives the full resolution chain.
 func (s *System) execOne(cpu *CPU) (vtime.Cycles, *obj.Fault) {
+	if spent, f, ok := s.execOneFast(cpu); ok {
+		return spent, f
+	}
+	return s.execOneSlow(cpu)
+}
+
+// execOneSlow is the uncached reference interpreter: every capability is
+// resolved afresh, every access is bounds- and rights-checked through
+// obj.Table. The fast path defines itself against this — whatever it does
+// must be byte-identical to what execOneSlow would have done.
+func (s *System) execOneSlow(cpu *CPU) (vtime.Cycles, *obj.Fault) {
 	proc := cpu.proc
 	ctx, f := s.Procs.Context(proc)
 	if f != nil {
@@ -366,6 +386,13 @@ func (s *System) execOne(cpu *CPU) (vtime.Cycles, *obj.Fault) {
 	s.instructions++
 
 	spent, f := s.execInstr(cpu, proc, ctx, in)
+	return s.execFinish(cpu, proc, ip, in, spent, f), f
+}
+
+// execFinish is the shared per-instruction epilogue of both interpreter
+// paths: bus-contention surcharge, clock charge, and the Trace callback.
+// Keeping it in one place is what keeps the two paths cycle-identical.
+func (s *System) execFinish(cpu *CPU, proc obj.AD, ip uint32, in isa.Instr, spent vtime.Cycles, f *obj.Fault) vtime.Cycles {
 	if s.contention > 0 && s.busyThisStep > 1 {
 		// Shared-bus arbitration: every other busy processor in this
 		// step round adds a wait per instruction.
@@ -375,7 +402,7 @@ func (s *System) execOne(cpu *CPU) (vtime.Cycles, *obj.Fault) {
 	if s.Trace != nil {
 		s.Trace(cpu.ID, proc, TraceEvent{IP: ip, Instr: in, Cost: spent, Fault: f})
 	}
-	return spent, f
+	return spent
 }
 
 // TraceEvent describes one executed instruction to a Trace observer.

@@ -49,6 +49,13 @@ const forkLogCapacity = 1 << 15
 // bitmasks; larger systems fall back to the serial backend.
 const maxParallelCPUs = 64
 
+// parStreakLimit is the number of consecutive discarded epochs that
+// triggers the abort backoff (Config.ParallelCooldown serial steps). The
+// pathological case is a workload whose every epoch communicates across
+// processors — port ping-pong — where speculation can never commit and
+// each step costs a fork setup plus the serial replay.
+const parStreakLimit = 4
+
 // specCtl is the kill switch of one speculation. It lives on the fork
 // systems only; the real system's spec field is nil.
 type specCtl struct {
@@ -183,8 +190,15 @@ func (s *System) stepParallel(quantum vtime.Cycles) (bool, *obj.Fault) {
 		// Discard everything and replay on the real state: speculation
 		// never touched it, so the replay IS the serial execution.
 		s.parReplays++
+		s.parStreak++
+		if s.parCooldown > 0 && s.parStreak >= parStreakLimit {
+			s.parStreak = 0
+			s.parCoolLeft = s.parCooldown
+			s.parCooldowns++
+		}
 		return s.stepSerial(quantum)
 	}
+	s.parStreak = 0
 
 	// Commit in canonical processor order. With no conflicts, applying
 	// each fork's writes, stats deltas, decode-cache entries and trace
@@ -215,47 +229,49 @@ func (s *System) stepParallel(quantum vtime.Cycles) (bool, *obj.Fault) {
 	return worked, nil
 }
 
+// touchers is the per-slot (or per-page) mask pair of the conflict
+// detector: which forks read it, which wrote it.
+type touchers struct{ readers, writers uint64 }
+
 // forkConflicts reports whether any two forks' epoch footprints overlap in
 // a way serial execution could have observed: a descriptor slot or memory
-// byte written by one processor and touched by any other.
+// byte written by one processor and touched by any other. Its scratch maps
+// and the refinement id slice are pooled on the System — an epoch's
+// conflict check runs once per Step, and allocating the maps fresh each
+// time dominated the commit path's host cost.
 func (s *System) forkConflicts() bool {
-	// Descriptor slots: exact granularity, mask of touchers per slot.
-	type touchers struct{ readers, writers uint64 }
-	descs := make(map[obj.Index]*touchers)
-	pages := make(map[uint32]*touchers)
-	at := func(m map[uint32]*touchers, k uint32) *touchers {
-		t := m[k]
-		if t == nil {
-			t = &touchers{}
-			m[k] = t
-		}
-		return t
+	if s.cfDescs == nil {
+		s.cfDescs = make(map[obj.Index]touchers)
+		s.cfPages = make(map[uint32]touchers)
 	}
-	atDesc := func(k obj.Index) *touchers {
-		t := descs[k]
-		if t == nil {
-			t = &touchers{}
-			descs[k] = t
-		}
-		return t
-	}
+	descs, pages := s.cfDescs, s.cfPages
+	clear(descs)
+	clear(pages)
 	for i, fk := range s.forks {
 		bit := uint64(1) << i
 		for _, idx := range fk.sys.Table.ForkTouched() {
-			atDesc(idx).readers |= bit
+			t := descs[idx]
+			t.readers |= bit
+			descs[idx] = t
 		}
 		for _, idx := range fk.sys.Table.ForkDescWrites() {
-			atDesc(idx).writers |= bit
+			t := descs[idx]
+			t.writers |= bit
+			descs[idx] = t
 		}
 		r, w := fk.sys.Table.ForkPages()
 		for _, p := range r {
-			at(pages, p).readers |= bit
+			t := pages[p]
+			t.readers |= bit
+			pages[p] = t
 		}
 		for _, p := range w {
-			at(pages, p).writers |= bit
+			t := pages[p]
+			t.writers |= bit
+			pages[p] = t
 		}
 	}
-	conflicting := func(t *touchers) bool {
+	conflicting := func(t touchers) bool {
 		w := t.writers
 		if w == 0 {
 			return false
@@ -276,13 +292,14 @@ func (s *System) forkConflicts() bool {
 		// unrelated objects into adjacent bytes, so processors working on
 		// disjoint objects routinely share a boundary page without
 		// sharing a byte.
-		ids := make([]int, 0, len(s.forks))
+		ids := s.cfIDs[:0]
 		all := t.readers | t.writers
 		for i := range s.forks {
 			if all&(1<<i) != 0 {
 				ids = append(ids, i)
 			}
 		}
+		s.cfIDs = ids
 		for ai := 0; ai < len(ids); ai++ {
 			ra, wa := s.forks[ids[ai]].sys.Table.ForkPageFootprint(p)
 			for bi := ai + 1; bi < len(ids); bi++ {
@@ -307,6 +324,7 @@ type ParStats struct {
 	Conflicts uint64 // epochs discarded for footprint overlap
 	Aborts    uint64 // epochs discarded for structural ops/faults/daemons
 	Replays   uint64 // serial replays (= Conflicts + Aborts)
+	Cooldowns uint64 // abort backoffs entered (parStreakLimit discards in a row)
 }
 
 // ParStats reports the parallel backend's counters; all zero when the
@@ -318,5 +336,6 @@ func (s *System) ParStats() ParStats {
 		Conflicts: s.parConflicts,
 		Aborts:    s.parAborts,
 		Replays:   s.parReplays,
+		Cooldowns: s.parCooldowns,
 	}
 }

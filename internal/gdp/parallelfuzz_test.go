@@ -28,15 +28,16 @@ import (
 // buildFuzzSystem constructs a system plus a seed-determined workload mix:
 // pure compute loops, port spammers and drainers on a shared port, and a
 // spread of time slices (preemption traffic) across 2..4 processors.
-// Identical seeds produce identical construction sequences, so a serial
-// and a parallel build are twins.
-func buildFuzzSystem(t *testing.T, seed int64, hostpar bool) *gdp.System {
+// Identical seeds produce identical construction sequences, so builds with
+// different backend/cache settings are twins.
+func buildFuzzSystem(t *testing.T, seed int64, hostpar, nocache bool) *gdp.System {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	s, err := gdp.New(gdp.Config{
 		Processors:   2 + rng.Intn(3),
 		MemoryBytes:  8 << 20,
 		HostParallel: hostpar,
+		NoExecCache:  nocache,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -165,20 +166,37 @@ func corpusSeeds(t *testing.T) []int64 {
 }
 
 func TestParallelDifferentialFuzz(t *testing.T) {
+	// Three axes, four corners: {serial, parallel} × {cached, uncached}.
+	// The uncached serial run is the reference semantics; every other
+	// configuration must reproduce its fingerprint byte for byte.
+	variants := []struct {
+		name             string
+		hostpar, nocache bool
+	}{
+		{"serial-nocache", false, true},
+		{"serial-cache", false, false},
+		{"parallel-nocache", true, true},
+		{"parallel-cache", true, false},
+	}
 	for _, seed := range corpusSeeds(t) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			ser := buildFuzzSystem(t, seed, false)
-			par := buildFuzzSystem(t, seed, true)
-			runFuzz(t, ser)
-			runFuzz(t, par)
-			fs, fp := fuzzFingerprint(t, ser), fuzzFingerprint(t, par)
-			if fs != fp {
-				t.Fatalf("serial and parallel runs diverged for seed %d:\n--- serial ---\n%.2000s\n--- parallel ---\n%.2000s",
-					seed, fs, fp)
-			}
-			if ps := par.ParStats(); ps.Epochs == 0 {
-				t.Fatalf("parallel backend never engaged: %+v", ps)
+			var ref string
+			for _, v := range variants {
+				s := buildFuzzSystem(t, seed, v.hostpar, v.nocache)
+				runFuzz(t, s)
+				fp := fuzzFingerprint(t, s)
+				if v.name == "serial-nocache" {
+					ref = fp
+				} else if fp != ref {
+					t.Fatalf("%s diverged from serial-nocache for seed %d:\n--- reference ---\n%.2000s\n--- %s ---\n%.2000s",
+						v.name, seed, ref, v.name, fp)
+				}
+				if v.hostpar {
+					if ps := s.ParStats(); ps.Epochs == 0 {
+						t.Fatalf("parallel backend never engaged (%s): %+v", v.name, ps)
+					}
+				}
 			}
 		})
 	}

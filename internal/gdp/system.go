@@ -111,10 +111,24 @@ type System struct {
 
 	// Parallel host backend (parallel.go). hostpar enables it; forks are
 	// the per-processor epoch forks, built lazily; spec is non-nil only on
-	// the epoch-fork shadow systems themselves.
-	hostpar bool
-	forks   []*epochFork
-	spec    *specCtl
+	// the epoch-fork shadow systems themselves. parCooldown is the
+	// resolved abort-backoff length; parStreak counts consecutive
+	// discarded epochs and parCoolLeft the serial steps still owed to the
+	// current backoff. Conflict-detection scratch maps are pooled across
+	// epochs (cfDescs/cfPages/cfIDs).
+	hostpar     bool
+	forks       []*epochFork
+	spec        *specCtl
+	parCooldown int
+	parStreak   int
+	parCoolLeft int
+	cfDescs     map[obj.Index]touchers
+	cfPages     map[uint32]touchers
+	cfIDs       []int
+
+	// xcOff disables the execution cache (Config.NoExecCache), forcing
+	// every instruction down the uncached reference path.
+	xcOff bool
 
 	// Stats.
 	dispatches   uint64
@@ -128,6 +142,7 @@ type System struct {
 	parConflicts uint64
 	parAborts    uint64
 	parReplays   uint64
+	parCooldowns uint64
 }
 
 type bodyReg struct {
@@ -168,6 +183,20 @@ type Config struct {
 	// backend — any cross-processor conflict falls back to serial replay
 	// of the epoch. See parallel.go.
 	HostParallel bool
+
+	// ParallelCooldown is the abort backoff of the parallel backend: after
+	// parStreakLimit consecutive discarded epochs the system runs this many
+	// steps on the serial backend before speculating again, so workloads
+	// whose every epoch conflicts (the E12 ping-pong) stop paying fork
+	// setup plus serial replay for each step. 0 means the default (32);
+	// negative disables the backoff entirely.
+	ParallelCooldown int
+
+	// NoExecCache disables the per-CPU execution cache (xcache.go),
+	// forcing the uncached reference interpreter. Results are identical
+	// either way — the switch exists for benchmarking the cache and for
+	// the differential determinism harnesses.
+	NoExecCache bool
 }
 
 // New boots a system: memory, object table, the system global heap, the
@@ -209,6 +238,12 @@ func New(cfg Config) (*System, error) {
 	if deadlineBase == 0 {
 		deadlineBase = 100_000
 	}
+	parCooldown := cfg.ParallelCooldown
+	if parCooldown == 0 {
+		parCooldown = 32
+	} else if parCooldown < 0 {
+		parCooldown = 0
+	}
 	s := &System{
 		Table:        tab,
 		SROs:         sros,
@@ -222,6 +257,8 @@ func New(cfg Config) (*System, error) {
 		deadline:     cfg.DeadlineDispatch,
 		deadlineBase: deadlineBase,
 		hostpar:      cfg.HostParallel,
+		parCooldown:  parCooldown,
+		xcOff:        cfg.NoExecCache,
 		bodies:       make(map[obj.Index]bodyReg),
 	}
 	for i := 0; i < cfg.Processors; i++ {

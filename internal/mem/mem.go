@@ -275,6 +275,23 @@ func (m *Memory) WriteBytes(e Extent, off uint32, p []byte) error {
 	return nil
 }
 
+// Window returns a direct byte view over extent e, for the interpreter's
+// execution cache. It is the one sanctioned exception to the "no raw
+// slices" rule above, and it is safe only because the backing array is
+// allocated once in New and never reallocated: the view stays valid until
+// the extent itself is freed or moved, which the object layer signals
+// through its cache generation. Forks get nil — their reads and writes
+// must go through the footprint-tracking shadow — as do bad extents.
+func (m *Memory) Window(e Extent) []byte {
+	if m.fk != nil {
+		return nil
+	}
+	if e.End() < e.Base || e.End() > Addr(len(m.data)) {
+		return nil
+	}
+	return m.data[e.Base:e.End():e.End()]
+}
+
 // Move relocates the contents of src into a freshly allocated extent and
 // frees src. The swapping memory manager and a compacting collector use
 // this; user processes never observe it except as a segment fault (§7.3).

@@ -58,6 +58,12 @@ func (m *Swapping) Compact() (moved int, spent vtime.Cycles, fault *obj.Fault) {
 			break
 		}
 	}
+	if moved > 0 {
+		// Extents were rewritten behind the table's back (directly
+		// through DescriptorAt); any execution-cache window over a moved
+		// segment now points at freed bytes.
+		m.Table.InvalidateCaches()
+	}
 	return moved, spent, nil
 }
 

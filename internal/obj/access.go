@@ -180,6 +180,12 @@ func (t *Table) StoreAD(dst AD, slot uint32, src AD) *Fault {
 	if err := t.mem.WriteDWord(d.Access, slot*ADSlotSize+4, uint32(enc>>32)); err != nil {
 		return Faultf(FaultOddity, dst, "%v", err)
 	}
+	if d.Type == TypeProcess || d.Type == TypeContext {
+		// A user-reachable AD store into a process or context can redirect
+		// execution structure the interpreter's execution cache pins (the
+		// current context, the domain slot).
+		t.xgen++
+	}
 	t.adStores++
 	if l := t.tr; l != nil {
 		l.Emit(trace.EvADStore, uint32(dst.Index), uint32(src.Index), uint64(slot))
@@ -229,6 +235,14 @@ func (t *Table) StoreADSystem(dst AD, slot uint32, src AD) *Fault {
 	}
 	if err := t.mem.WriteDWord(d.Access, slot*ADSlotSize+4, uint32(enc>>32)); err != nil {
 		return Faultf(FaultOddity, dst, "%v", err)
+	}
+	if d.Type == TypeProcess {
+		// System stores into process slots switch contexts (PushContext,
+		// PopContext) and load the carry slot; both alias the execution
+		// cache. Context-object system stores are the access registers
+		// (SetAReg), which the cache reads through the checked path — no
+		// bump, or every AD-handling instruction would thrash the cache.
+		t.xgen++
 	}
 	t.adStores++
 	if l := t.tr; l != nil {

@@ -1,0 +1,41 @@
+package obj
+
+import "testing"
+
+// BenchmarkTableResolve measures the capability-resolution hot path: the
+// execution cache exists to keep this off the per-instruction critical
+// path, so its cost here is the baseline the cache is judged against.
+func BenchmarkTableResolve(b *testing.B) {
+	t := NewTable(1 << 20)
+	ad, f := t.Create(CreateSpec{Type: TypeGeneric, DataLen: 64})
+	if f != nil {
+		b.Fatal(f)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, f := t.Resolve(ad); f != nil {
+			b.Fatal(f)
+		}
+	}
+}
+
+// BenchmarkTableResolveStale measures the refusal path — a dangling AD
+// whose generation no longer matches — which the fast path's re-prime
+// check must also pay on every invalidation.
+func BenchmarkTableResolveStale(b *testing.B) {
+	t := NewTable(1 << 20)
+	ad, f := t.Create(CreateSpec{Type: TypeGeneric, DataLen: 64})
+	if f != nil {
+		b.Fatal(f)
+	}
+	stale := ad
+	stale.Gen++
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, f := t.Resolve(stale); f == nil {
+			b.Fatal("stale AD resolved")
+		}
+	}
+}

@@ -28,6 +28,7 @@ type tableFork struct {
 	shadow  []Descriptor
 	stamp   []uint32 // epoch when shadow[i] was copied from the parent
 	touched []Index  // slots copied this epoch (the read footprint)
+	writes  []Index  // scratch reused by ForkDescWrites across epochs
 	epoch   uint32
 	abort   bool
 }
@@ -81,15 +82,18 @@ func (t *Table) ForkAborted() bool { return t.fk.abort || t.mem.ForkAborted() }
 func (t *Table) ForkTouched() []Index { return t.fk.touched }
 
 // ForkDescWrites reports the descriptor slots whose shadow copy differs
-// from the parent — the fork's descriptor write footprint.
+// from the parent — the fork's descriptor write footprint. The slice is
+// owned by the fork (the backing buffer pools across epochs) and is valid
+// until the next call or ForkReset.
 func (t *Table) ForkDescWrites() []Index {
 	fk := t.fk
-	var out []Index
+	out := fk.writes[:0]
 	for _, idx := range fk.touched {
 		if fk.shadow[idx] != fk.parent.descs[idx] {
 			out = append(out, idx)
 		}
 	}
+	fk.writes = out
 	return out
 }
 
@@ -114,6 +118,9 @@ func (t *Table) ForkCommit() {
 	}
 	fk.parent.adStores += t.adStores
 	fk.parent.grayings += t.grayings
+	// Committed descriptor writes bypass the parent's methods, so the
+	// parent's execution caches cannot have seen them; invalidate.
+	fk.parent.xgen++
 	t.mem.ForkCommit()
 }
 

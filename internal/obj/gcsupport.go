@@ -143,6 +143,7 @@ func (t *Table) SwapOut(idx Index, token uint64) *Fault {
 	}
 	d.SwappedOut = true
 	d.SwapToken = token
+	t.xgen++ // cached windows over the freed extents are dead
 	if l := t.tr; l != nil {
 		l.Emit(trace.EvSwapOut, uint32(idx), 0, token)
 	}
@@ -181,6 +182,7 @@ func (t *Table) SwapIn(idx Index) (data, access mem.Extent, f *Fault) {
 	}
 	d.SwappedOut = false
 	d.SwapToken = 0
+	t.xgen++ // the object landed at fresh extents; re-prime any windows
 	if l := t.tr; l != nil {
 		l.Emit(trace.EvSwapIn, uint32(idx), 0, 0)
 	}

@@ -95,6 +95,14 @@ type Table struct {
 	// branch.
 	tr *trace.Log
 
+	// xgen is the cache-invalidation generation consumed by the
+	// interpreter's execution cache (internal/gdp). Every operation that
+	// could alias cached descriptor state — destruction (including SRO and
+	// level reclaim), swap-out/in, extent moves during compaction, AD
+	// stores into process or context objects, a committed parallel epoch —
+	// bumps it; a cached entry whose snapshot differs is dead.
+	xgen uint64
+
 	// fk marks this table as an epoch-fork view (see fork.go): descriptor
 	// lookups route through a copy-on-touch shadow and structural
 	// operations abort the fork.
@@ -147,6 +155,18 @@ func (t *Table) SetTracer(l *trace.Log) { t.tr = l }
 // built over the table (ports, the collector, the process manager) emit
 // their events through this.
 func (t *Table) Tracer() *trace.Log { return t.tr }
+
+// CacheGen reports the table's cache-invalidation generation. Holders of
+// derived state (resolved descriptor windows, decoded operand caches) must
+// snapshot it when priming and treat any later mismatch as invalidation.
+func (t *Table) CacheGen() uint64 { return t.xgen }
+
+// InvalidateCaches bumps the cache-invalidation generation. Table-internal
+// aliasing operations bump it themselves; external trusted mutators that
+// bypass the table's methods (the compactor rewriting extents through
+// DescriptorAt, the parallel driver committing an epoch's descriptor
+// writes) must call this explicitly.
+func (t *Table) InvalidateCaches() { t.xgen++ }
 
 // Resolve validates an AD against the table: the entry must be live and
 // the generation must match. It returns the descriptor for inspection.
@@ -302,6 +322,7 @@ func (t *Table) destroyDesc(idx Index, d *Descriptor) *Fault {
 	if t.fk != nil {
 		return t.forkBar("object destruction")
 	}
+	t.xgen++ // the slot may be recycled; cached windows over it are dead
 	if l := t.tr; l != nil {
 		l.Emit(trace.EvObjDestroy, uint32(idx), uint32(d.Type), 0)
 	}

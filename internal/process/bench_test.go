@@ -1,0 +1,58 @@
+package process
+
+import (
+	"testing"
+
+	"repro/internal/obj"
+	"repro/internal/sro"
+)
+
+// benchContext builds a bare context object the register accessors can
+// aim at, without the full process machinery around it.
+func benchContext(b *testing.B) (*Manager, obj.AD) {
+	b.Helper()
+	tab := obj.NewTable(1 << 20)
+	s := sro.NewManager(tab)
+	heap, f := s.NewGlobalHeap(0)
+	if f != nil {
+		b.Fatal(f)
+	}
+	ctx, f := s.Create(heap, obj.CreateSpec{
+		Type:        obj.TypeContext,
+		DataLen:     ctxData,
+		AccessSlots: ctxSlots,
+	})
+	if f != nil {
+		b.Fatal(f)
+	}
+	return NewManager(tab, s), ctx
+}
+
+// BenchmarkReg measures the checked register read the slow interpreter
+// pays per operand; the execution cache replaces it with a direct load
+// from a pinned window.
+func BenchmarkReg(b *testing.B) {
+	m, ctx := benchContext(b)
+	if f := m.SetReg(ctx, 3, 99); f != nil {
+		b.Fatal(f)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, f := m.Reg(ctx, 3); f != nil {
+			b.Fatal(f)
+		}
+	}
+}
+
+// BenchmarkSetReg measures the checked register write.
+func BenchmarkSetReg(b *testing.B) {
+	m, ctx := benchContext(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := m.SetReg(ctx, 3, uint32(i)); f != nil {
+			b.Fatal(f)
+		}
+	}
+}

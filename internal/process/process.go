@@ -94,12 +94,20 @@ const (
 	procSlots    = 8
 )
 
-// Context data-part layout.
+// Context data-part layout. The offsets are exported for the
+// interpreter's execution cache (internal/gdp), which reads the register
+// file and IP through a direct window over the context's data part; they
+// are part of the simulated hardware's context format, not free to move.
 const (
-	ctxOffIP     = 0 // dword: next instruction index
-	ctxOffResume = 4 // word: resume action after a block (see Resume*)
-	ctxOffRegs   = 8 // 8 × dword data registers
-	ctxData      = ctxOffRegs + isa.NumDataRegs*4
+	CtxOffIP     = 0 // dword: next instruction index
+	CtxOffResume = 4 // word: resume action after a block (see Resume*)
+	CtxOffRegs   = 8 // 8 × dword data registers
+	CtxDataBytes = CtxOffRegs + isa.NumDataRegs*4
+
+	ctxOffIP     = CtxOffIP
+	ctxOffResume = CtxOffResume
+	ctxOffRegs   = CtxOffRegs
+	ctxData      = CtxDataBytes
 )
 
 // Resume actions recorded when a process blocks mid-instruction.
