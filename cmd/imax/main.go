@@ -7,6 +7,7 @@
 //
 //	imax [-cpus N] [-mem BYTES] [-swapping] [-gc] [-hostpar] [-noxcache]
 //	     [-demo NAME] [-trace] [-audit] [-itrace N] [-inspect]
+//	imax -inject SEED
 //
 // Demos: ports (default), compute, gc, io.
 //
@@ -14,6 +15,13 @@
 // after the workload; -audit runs the cross-subsystem invariant auditor
 // and exits non-zero on any violation; -itrace prints the first N executed
 // instructions.
+//
+// -inject runs the deterministic fault-injection acceptance protocol for
+// the given seed instead of a demo: a fault-free reference run, then the
+// seed's injection plan replayed in all four {serial,parallel}×{cache
+// on,off} corners, cross-checked for byte-identical traces, fault-port
+// delivery, invariant-audit cleanliness and damage confinement. Exits
+// non-zero if any criterion fails.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/gdp"
+	"repro/internal/inject"
 	"repro/internal/inspect"
 	"repro/internal/iosys"
 	"repro/internal/isa"
@@ -45,7 +54,20 @@ func main() {
 	traceFlag := flag.Bool("trace", false, "enable the kernel event log; print counters and tail at exit")
 	auditFlag := flag.Bool("audit", false, "run the invariant auditor at exit; non-zero on violations")
 	itrace := flag.Int("itrace", 0, "print the first N executed instructions")
+	injectSeed := flag.Int64("inject", 0, "run the fault-injection acceptance protocol for this seed (0 = off)")
 	flag.Parse()
+
+	if *injectSeed != 0 {
+		res, err := inject.RunSeed(*injectSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res.Report(os.Stdout)
+		if !res.Ok() {
+			os.Exit(1)
+		}
+		return
+	}
 
 	im, err := core.Boot(core.Config{
 		Processors:   *cpus,

@@ -44,7 +44,7 @@ func (s *System) Step(quantum vtime.Cycles) (bool, *obj.Fault) {
 		}
 		s.busyThisStep = busy
 	}
-	if s.parallelEligible() {
+	if s.parallelEligible() && !s.injectionImminent(quantum) {
 		if s.parCoolLeft > 0 {
 			// Abort backoff: recent epochs kept discarding, so run
 			// serially for a while before paying for speculation again.
@@ -319,6 +319,21 @@ func (s *System) stepVM(cpu *CPU, quantum vtime.Cycles) *obj.Fault {
 // prove safe falls through — with machine state untouched — to the slow
 // path, which re-derives the full resolution chain.
 func (s *System) execOne(cpu *CPU) (vtime.Cycles, *obj.Fault) {
+	if s.inj != nil && s.instructions >= s.inj.NextAt() {
+		// Fault injection fires between instructions: the due event acts
+		// on the machine before the next instruction executes, and a
+		// returned fault takes the ordinary deliverFault path against the
+		// process bound here. Only the real system carries an injector
+		// (buildForks strips it), so this cannot run under speculation.
+		if f := s.inj.Fire(s, cpu); f != nil {
+			return 0, f
+		}
+		if !cpu.proc.Valid() {
+			// The injection unbound this processor (offline event); the
+			// stepVM loop condition ends the quantum.
+			return 0, nil
+		}
+	}
 	if spent, f, ok := s.execOneFast(cpu); ok {
 		return spent, f
 	}

@@ -90,6 +90,28 @@ func (s *System) parallelEligible() bool {
 		s.Trace == nil
 }
 
+// injectionImminent reports whether the installed fault injector could
+// fire within one epoch of the given quantum. The instruction count a
+// fork reaches is bounded by quantum divided by the cheapest instruction
+// cost, summed over processors; speculating across the trigger instant
+// would let forks race past it and see state the injection should have
+// changed (or fire it against fork state the commit then discards). Such
+// steps run serially instead, so the injection fires mid-quantum on the
+// real machine, identically in every backend/cache corner. Injection-free
+// stretches of a plan keep the parallel backend's full benefit.
+func (s *System) injectionImminent(quantum vtime.Cycles) bool {
+	if s.inj == nil {
+		return false
+	}
+	next := s.inj.NextAt()
+	if next == ^uint64(0) {
+		return false
+	}
+	perCPU := uint64(quantum)/uint64(vtime.CostALU) + 1
+	bound := uint64(len(s.CPUs)) * perCPU
+	return next < s.instructions+bound
+}
+
 // buildForks constructs one epoch fork per processor. The fork system
 // shares everything immutable-during-a-step with the real system (the
 // native-body registry, the handler registry via the epoch domain manager,

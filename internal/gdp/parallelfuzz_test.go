@@ -136,31 +136,44 @@ func fuzzFingerprint(t *testing.T, s *gdp.System) string {
 	return b.String()
 }
 
+// corpusSeeds loads the differential-fuzz seed corpus. Any defect in the
+// corpus — missing file, unparsable line, duplicate seed, zero usable
+// seeds — is a loud failure, never a skip: a fuzz that silently runs
+// nothing is worse than one that fails, because it keeps reporting green
+// while covering no configuration at all.
 func corpusSeeds(t *testing.T) []int64 {
 	t.Helper()
-	f, err := os.Open("testdata/parallel_corpus.txt")
+	const path = "testdata/parallel_corpus.txt"
+	f, err := os.Open(path)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("differential-fuzz corpus unreadable (it is checked in at internal/gdp/%s): %v", path, err)
 	}
 	defer f.Close()
 	var seeds []int64
+	seen := make(map[int64]int)
 	sc := bufio.NewScanner(f)
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		n, err := strconv.ParseInt(line, 10, 64)
 		if err != nil {
-			t.Fatalf("corpus line %q: %v", line, err)
+			t.Fatalf("%s:%d: malformed seed %q (one decimal int64 per line): %v", path, lineNo, line, err)
 		}
+		if first, dup := seen[n]; dup {
+			t.Fatalf("%s:%d: duplicate seed %d (first on line %d) — duplicates inflate apparent coverage", path, lineNo, n, first)
+		}
+		seen[n] = lineNo
 		seeds = append(seeds, n)
 	}
 	if err := sc.Err(); err != nil {
-		t.Fatal(err)
+		t.Fatalf("%s: read error: %v", path, err)
 	}
 	if len(seeds) == 0 {
-		t.Fatal("empty corpus")
+		t.Fatalf("%s: no seeds — the differential fuzz would be a no-op", path)
 	}
 	return seeds
 }

@@ -61,6 +61,34 @@ const (
 	BodyDone
 )
 
+// Injector is the deterministic fault-injection hook (internal/inject).
+// The interpreter consults it before every instruction on the serial
+// backend: when the system-wide executed-instruction count reaches NextAt,
+// Fire runs against the machine exactly as the serial interleaving sees it
+// at that instant. The parallel backend refuses to speculate across an
+// imminent injection (injectionImminent, parallel.go), and epoch forks are
+// never handed the injector, so an injection always mutates real state and
+// every {serial,parallel}×{cache on,off} corner observes the identical
+// machine — injected runs stay byte-for-byte replayable.
+type Injector interface {
+	// NextAt reports the system-wide instruction count at which the next
+	// injection is due, or ^uint64(0) when the plan is exhausted. It must
+	// be cheap and pure: the driver calls it per instruction and at epoch
+	// boundaries.
+	NextAt() uint64
+	// Fire performs every injection due at the current instruction count
+	// and advances past it (a Fire that left NextAt in the past would
+	// fire forever). cpu is the processor about to execute, with a VM
+	// process bound. A non-nil fault is delivered to that process exactly
+	// as an instruction fault would be.
+	Fire(s *System, cpu *CPU) *obj.Fault
+}
+
+// SetInjector installs the fault injector, or removes it with nil. Install
+// it before running the workload; swapping injectors mid-run breaks the
+// determinism argument.
+func (s *System) SetInjector(i Injector) { s.inj = i }
+
 // NativeBody is the Go body of a native process (the GC daemon, device
 // drivers, schedulers — the parts of iMAX that are software, scheduled
 // exactly like any other process per §8.1's "daemon process"). Each call
@@ -129,6 +157,11 @@ type System struct {
 	// xcOff disables the execution cache (Config.NoExecCache), forcing
 	// every instruction down the uncached reference path.
 	xcOff bool
+
+	// inj is the installed fault injector, nil in production runs. Epoch
+	// forks never receive it (buildForks), so injections only ever mutate
+	// real state.
+	inj Injector
 
 	// Stats.
 	dispatches   uint64

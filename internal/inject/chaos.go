@@ -1,0 +1,347 @@
+package inject
+
+// chaos.go is the damage-confinement soak harness: for one seed it runs
+// the chaos workload (workload.go) under the seed's injection plan in all
+// four {serial,parallel}×{cache on,off} corners, plus one fault-free
+// reference run, and then judges the acceptance criteria of the paper's
+// §7.1/§7.3 story:
+//
+//  1. every injected run terminates cleanly (no system-level fault, no
+//     drain timeout);
+//  2. every faulted process is observed parked at its fault port (or
+//     terminated, when an injected flood had already filled the port —
+//     the documented full-port arm of fault delivery);
+//  3. the invariant auditor finds nothing, and audit.CheckConfinement
+//     proves every object outside the injections' declared blast radius
+//     byte-identical to the reference run;
+//  4. all four corners produce the same fingerprint — trace stream,
+//     stats, worker states and fired-event log — byte for byte.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/audit"
+	"repro/internal/obj"
+	"repro/internal/process"
+	"repro/internal/vtime"
+)
+
+const (
+	// chaosSteps × chaosStepQuantum is the driven phase; the odd quantum
+	// exercises epoch boundaries at non-multiples of the dispatch slice.
+	chaosSteps       = 260
+	chaosStepQuantum = vtime.Cycles(2_500)
+	// chaosDrainBudget bounds the drain to worker quiescence; exhausting
+	// it is a "did not terminate cleanly" failure.
+	chaosDrainBudget = vtime.Cycles(40_000_000)
+)
+
+// RunWorld drives a built world to worker quiescence: a fixed cadence of
+// short steps (identical in every corner) followed by a bounded drain.
+// Workers that faulted stay parked and count as quiescent — nobody
+// services the chaos fault port, by design.
+func RunWorld(w *World) error {
+	for i := 0; i < chaosSteps; i++ {
+		if _, f := w.IM.Step(chaosStepQuantum); f != nil {
+			return fmt.Errorf("step %d: system-level fault: %v", i, f)
+		}
+	}
+	quiet := func() bool {
+		for _, p := range w.Workers {
+			st, f := w.IM.Procs.StateOf(p)
+			if f != nil {
+				continue // destroyed by an injection: nothing left to run
+			}
+			switch st {
+			case process.StateBlocked, process.StateFaulted,
+				process.StateStopped, process.StateTerminated:
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if _, f := w.IM.RunUntil(quiet, chaosDrainBudget); f != nil {
+		return fmt.Errorf("drain: workload did not quiesce: %v", f)
+	}
+	return nil
+}
+
+// Fingerprint renders everything observable about a finished run that must
+// be identical across corners: virtual time, machine stats, per-CPU
+// clocks, worker fates, the fired-event log, and the complete trace
+// stream. Parallel-backend counters are deliberately absent — they
+// describe how the run was computed, not what it computed.
+func Fingerprint(w *World) string {
+	var b bytes.Buffer
+	st := w.IM.Stats()
+	fmt.Fprintf(&b, "now=%d cycles=%d dispatches=%d preemptions=%d faults=%d instructions=%d\n",
+		w.IM.Now(), w.IM.TotalCycles(), st.Dispatches, st.Preemptions, st.FaultsSent, st.Instructions)
+	for _, c := range w.IM.CPUs {
+		fmt.Fprintf(&b, "cpu%d clock=%d instr=%d online=%v\n",
+			c.ID, c.Clock.Now(), c.Instructions, c.Online())
+	}
+	for i, p := range w.Workers {
+		wst, f := w.IM.Procs.StateOf(p)
+		if f != nil {
+			fmt.Fprintf(&b, "worker%d idx=%d destroyed\n", i, p.Index)
+			continue
+		}
+		code, _ := w.IM.Procs.FaultCode(p)
+		fmt.Fprintf(&b, "worker%d idx=%d state=%v fault=%v\n", i, p.Index, wst, code)
+	}
+	if w.Inj != nil {
+		w.Inj.Report(&b)
+	}
+	_ = w.IM.TraceLog.Dump(&b)
+	return b.String()
+}
+
+// faultPortResidents collects the object indices deposited as messages at
+// the world's fault port (faulted processes and any flood fillers).
+func faultPortResidents(w *World) (map[obj.Index]bool, error) {
+	st, f := w.IM.Ports.Inspect(w.FaultPort)
+	if f != nil {
+		return nil, fmt.Errorf("inspect fault port: %v", f)
+	}
+	out := make(map[obj.Index]bool)
+	for _, s := range st.Slots {
+		if s.Occupied {
+			out[s.Msg.Index] = true
+		}
+	}
+	return out, nil
+}
+
+// checkWorld judges one injected world against the §7 acceptance
+// criteria, given the reference snapshot of a fault-free run of the same
+// seed. It returns a list of human-readable problems, empty on success.
+func checkWorld(w *World, refSnap *audit.Snapshot) []string {
+	var problems []string
+	bad := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	// 1. Invariant audit and level discipline over the injected run.
+	aud := audit.New(w.IM.System).WithGC(w.IM.Collector)
+	for _, v := range aud.CheckAll() {
+		bad("audit: %v", v)
+	}
+	for _, v := range w.IM.CheckLevels() {
+		bad("levels: %v", v)
+	}
+
+	// 2. Every faulted worker must be observable at the fault port; a
+	// worker that terminated with a recorded fault code hit the full-port
+	// arm, which is only legitimate once a flood targeted the fault port
+	// or enough peers faulted first to fill it.
+	parked, err := faultPortResidents(w)
+	if err != nil {
+		bad("%v", err)
+		parked = map[obj.Index]bool{}
+	}
+	for i, p := range w.Workers {
+		st, f := w.IM.Procs.StateOf(p)
+		if f != nil {
+			continue // destroyed mid-mark; judged by confinement below
+		}
+		code, _ := w.IM.Procs.FaultCode(p)
+		switch st {
+		case process.StateFaulted:
+			if code == obj.FaultNone {
+				bad("worker%d (idx %d) faulted with no recorded fault code", i, p.Index)
+			}
+			if !parked[p.Index] {
+				bad("worker%d (idx %d) is faulted but not parked at the fault port", i, p.Index)
+			}
+		case process.StateTerminated:
+			// Fine either way: clean completion, or fault-port-full
+			// termination (code != FaultNone).
+		case process.StateBlocked, process.StateStopped:
+			// Legitimate only as injection fallout (a peer faulted
+			// mid-rally); confinement decides whether the damage spread.
+		default:
+			bad("worker%d (idx %d) ended in state %v", i, p.Index, st)
+		}
+	}
+
+	// 3. Damage confinement against the reference snapshot. The excluded
+	// seeds are the declared blast radius: the group of every faulted or
+	// destroyed worker, and the group of every object an environmental
+	// injection (flood, exhaust) acted on. Objects the injector itself
+	// destroyed are removed from the reference — their absence is the
+	// injection, not damage.
+	ref := refSnap
+	var excluded []obj.Index
+	exclude := func(idx obj.Index) {
+		if g := w.Group(idx); g != nil {
+			excluded = append(excluded, g...)
+		} else {
+			excluded = append(excluded, idx)
+		}
+	}
+	for _, p := range w.Workers {
+		st, f := w.IM.Procs.StateOf(p)
+		if f != nil {
+			exclude(p.Index)
+			continue
+		}
+		code, _ := w.IM.Procs.FaultCode(p)
+		if st == process.StateFaulted || code != obj.FaultNone {
+			exclude(p.Index)
+		}
+	}
+	if w.Inj != nil {
+		pruned := false
+		for _, r := range w.Inj.Fired() {
+			switch r.Kind {
+			case KindPortFlood, KindSROExhaust:
+				if r.Victim != obj.NilIndex {
+					exclude(r.Victim)
+				}
+			case KindDestroyMidMark:
+				if r.Victim != obj.NilIndex {
+					if !pruned {
+						ref = cloneSnapshot(refSnap)
+						pruned = true
+					}
+					delete(ref.Images, r.Victim)
+				}
+			}
+		}
+	}
+	for _, v := range aud.CheckConfinement(ref, excluded) {
+		bad("confinement: %v", v)
+	}
+	return problems
+}
+
+// cloneSnapshot copies the image map (the part the harness prunes when an
+// injection destroyed an object on purpose); edges are read-only and
+// shared.
+func cloneSnapshot(s *audit.Snapshot) *audit.Snapshot {
+	images := make(map[obj.Index]audit.ObjImage, len(s.Images))
+	for k, v := range s.Images {
+		images[k] = v
+	}
+	return &audit.Snapshot{Images: images, Edges: s.Edges}
+}
+
+// SeedResult is the outcome of one full seed acceptance run.
+type SeedResult struct {
+	Seed        int64
+	Plan        Plan
+	Fingerprint string  // canonical (serial-nocache) injected fingerprint
+	Fired       []Fired // fired-event log of the canonical corner
+	Faulted     int     // workers that ended faulted or fault-terminated
+	ParEpochs   uint64  // parallel epochs attempted across parallel corners
+	Problems    []string
+}
+
+// Ok reports whether the seed met every acceptance criterion.
+func (r *SeedResult) Ok() bool { return len(r.Problems) == 0 }
+
+// RunSeed executes the complete acceptance protocol for one seed: a
+// fault-free reference run, then the four injected corners, fingerprint
+// cross-comparison, and per-corner §7 checks. Building or driving errors
+// are returned as errors; criterion failures land in Problems.
+func RunSeed(seed int64) (*SeedResult, error) {
+	res := &SeedResult{Seed: seed}
+
+	refWorld, err := BuildWorld(seed, Corners[0], false)
+	if err != nil {
+		return nil, fmt.Errorf("seed %d: build reference: %v", seed, err)
+	}
+	if err := RunWorld(refWorld); err != nil {
+		return nil, fmt.Errorf("seed %d: reference run: %v", seed, err)
+	}
+	if vs := audit.New(refWorld.IM.System).WithGC(refWorld.IM.Collector).CheckAll(); len(vs) > 0 {
+		return nil, fmt.Errorf("seed %d: reference run failed its own audit: %v", seed, vs[0])
+	}
+	refSnap := audit.SnapshotReachable(refWorld.IM.Table)
+
+	for ci, corner := range Corners {
+		w, err := BuildWorld(seed, corner, true)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: build %v: %v", seed, corner, err)
+		}
+		if err := RunWorld(w); err != nil {
+			res.Problems = append(res.Problems,
+				fmt.Sprintf("%v: %v", corner, err))
+			continue
+		}
+		fp := Fingerprint(w)
+		if ci == 0 {
+			res.Plan = w.Inj.Plan()
+			res.Fingerprint = fp
+			res.Fired = w.Inj.Fired()
+			for _, p := range w.Workers {
+				if st, f := w.IM.Procs.StateOf(p); f == nil {
+					code, _ := w.IM.Procs.FaultCode(p)
+					if st == process.StateFaulted || code != obj.FaultNone {
+						res.Faulted++
+					}
+				}
+			}
+		} else if fp != res.Fingerprint {
+			res.Problems = append(res.Problems,
+				fmt.Sprintf("%v: fingerprint diverges from %v at %s",
+					corner, Corners[0], diffLine(res.Fingerprint, fp)))
+		}
+		if corner.HostParallel {
+			res.ParEpochs += w.IM.ParStats().Epochs
+		}
+		for _, p := range checkWorld(w, refSnap) {
+			res.Problems = append(res.Problems, fmt.Sprintf("%v: %s", corner, p))
+		}
+	}
+	return res, nil
+}
+
+// diffLine locates the first differing line of two fingerprints, for
+// actionable failure messages.
+func diffLine(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d: %q vs %q", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("length %d vs %d lines", len(al), len(bl))
+}
+
+// Report writes a human-readable acceptance report for the seed.
+func (r *SeedResult) Report(w io.Writer) {
+	fmt.Fprintf(w, "seed %d: %d planned events, %d fired, %d workers faulted\n",
+		r.Seed, len(r.Plan.Events), len(r.Fired), r.Faulted)
+	kinds := make(map[Kind]int)
+	for _, f := range r.Fired {
+		kinds[f.Kind]++
+	}
+	var ks []Kind
+	for k := range kinds {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	for _, k := range ks {
+		fmt.Fprintf(w, "  %-18s ×%d\n", k, kinds[k])
+	}
+	for _, f := range r.Fired {
+		fmt.Fprintf(w, "  %v\n", f)
+	}
+	if r.Ok() {
+		fmt.Fprintf(w, "  all corners identical, audit and confinement clean\n")
+		return
+	}
+	for _, p := range r.Problems {
+		fmt.Fprintf(w, "  FAIL: %s\n", p)
+	}
+}

@@ -1,0 +1,87 @@
+package inject
+
+import (
+	"testing"
+)
+
+// TestPlanDeterministic: identical arguments, identical plans.
+func TestPlanDeterministic(t *testing.T) {
+	for _, seed := range []int64{0, 1, -9, 1 << 40} {
+		a, b := NewPlan(seed, 0, 16), NewPlan(seed, 0, 16)
+		if len(a.Events) != len(b.Events) {
+			t.Fatalf("seed %d: %d vs %d events", seed, len(a.Events), len(b.Events))
+		}
+		for i := range a.Events {
+			if a.Events[i] != b.Events[i] {
+				t.Fatalf("seed %d event %d: %v vs %v", seed, i, a.Events[i], b.Events[i])
+			}
+		}
+	}
+}
+
+func checkPlanInvariants(t *testing.T, p Plan) {
+	t.Helper()
+	var last uint64
+	for i, e := range p.Events {
+		if e.At <= last {
+			t.Fatalf("event %d: At %d not strictly after %d", i, e.At, last)
+		}
+		last = e.At
+		if e.Kind >= numKinds {
+			t.Fatalf("event %d: invalid kind %d", i, e.Kind)
+		}
+	}
+	// Every offline has exactly one later online with the same Arg, and
+	// no online exists unpaired: a plan can park a processor, never
+	// retire it.
+	type pending struct{ at uint64 }
+	open := make(map[uint64][]pending) // Arg → offline instants not yet paired
+	for i, e := range p.Events {
+		switch e.Kind {
+		case KindCPUOffline:
+			open[e.Arg] = append(open[e.Arg], pending{at: e.At})
+		case KindCPUOnline:
+			q := open[e.Arg]
+			if len(q) == 0 {
+				t.Fatalf("event %d: online with no preceding offline (arg %#x)", i, e.Arg)
+			}
+			if q[0].at >= e.At {
+				t.Fatalf("event %d: online at %d not after its offline at %d", i, e.At, q[0].at)
+			}
+			open[e.Arg] = q[1:]
+		}
+	}
+	for arg, q := range open {
+		if len(q) != 0 {
+			t.Fatalf("offline event (arg %#x) never paired with an online", arg)
+		}
+	}
+}
+
+// FuzzInjectionPlan fuzzes the plan generator's contract: pure in the
+// seed, strictly increasing instants, valid kinds, offline/online pairing.
+func FuzzInjectionPlan(f *testing.F) {
+	f.Add(int64(1), uint64(0), 12)
+	f.Add(int64(-1), uint64(1), 0)
+	f.Add(int64(42), uint64(7_777), 40)
+	f.Add(int64(1<<62), uint64(3), 200)
+	f.Fuzz(func(t *testing.T, seed int64, horizon uint64, n int) {
+		if n > 1<<12 {
+			n %= 1 << 12 // keep plans test-sized; generation is linear in n
+		}
+		if horizon > 1<<40 {
+			horizon %= 1 << 40
+		}
+		p := NewPlan(seed, horizon, n)
+		q := NewPlan(seed, horizon, n)
+		if len(p.Events) != len(q.Events) {
+			t.Fatalf("not deterministic: %d vs %d events", len(p.Events), len(q.Events))
+		}
+		for i := range p.Events {
+			if p.Events[i] != q.Events[i] {
+				t.Fatalf("not deterministic at event %d: %v vs %v", i, p.Events[i], q.Events[i])
+			}
+		}
+		checkPlanInvariants(t, p)
+	})
+}

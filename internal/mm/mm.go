@@ -205,22 +205,8 @@ func (m *Swapping) swappable(idx obj.Index) bool {
 // evictOne selects a victim by clock sweep and swaps it out. It reports
 // false when no victim exists.
 func (m *Swapping) evictOne() (bool, *obj.Fault) {
-	n := obj.Index(m.Table.Len())
-	if n <= 1 {
-		return false, nil
-	}
-	hand := m.clockHand
-	for i := obj.Index(0); i < n; i++ {
-		hand++
-		if hand >= n {
-			hand = 1
-		}
-		if m.swappable(hand) {
-			m.clockHand = hand
-			return true, m.swapOut(hand)
-		}
-	}
-	return false, nil
+	_, ok, f := m.EvictVictim()
+	return ok, f
 }
 
 // swapOut writes the object's image to the backing store and releases its
@@ -251,6 +237,30 @@ func (m *Swapping) swapOut(idx obj.Index) *obj.Fault {
 	m.SwapOuts++
 	m.SwapCycles += transferCost(len(data) + len(access))
 	return nil
+}
+
+// EvictVictim swaps out the next clock-sweep victim on demand and reports
+// its index, without waiting for allocation pressure. Resource managers use
+// it to shed memory ahead of need, and the fault-injection harness uses it
+// to force a swap-out between two instructions of a running process. ok is
+// false when nothing is swappable.
+func (m *Swapping) EvictVictim() (victim obj.Index, ok bool, f *obj.Fault) {
+	n := obj.Index(m.Table.Len())
+	if n <= 1 {
+		return obj.NilIndex, false, nil
+	}
+	hand := m.clockHand
+	for i := obj.Index(0); i < n; i++ {
+		hand++
+		if hand >= n {
+			hand = 1
+		}
+		if m.swappable(hand) {
+			m.clockHand = hand
+			return hand, true, m.swapOut(hand)
+		}
+	}
+	return obj.NilIndex, false, nil
 }
 
 // EnsureResident brings a swapped-out object back into physical memory,

@@ -65,6 +65,9 @@ const (
 	EvStart     // Obj=process (basic process manager start)
 	EvTimer     // Obj=process woken by the interval timer
 
+	// Fault injection (internal/inject).
+	EvInject // Obj=primary victim index, Arg=injection kind, Aux=plan instant (instruction count)
+
 	numKinds
 )
 
@@ -94,6 +97,7 @@ var kindNames = [...]string{
 	EvStop:      "pm.stop",
 	EvStart:     "pm.start",
 	EvTimer:     "proc.timer",
+	EvInject:    "inject.fire",
 }
 
 func (k Kind) String() string {
