@@ -11,6 +11,7 @@
 //	imaxbench -md                  emit Markdown (for EXPERIMENTS.md)
 //	imaxbench -bench-pr2 OUT.json  host-parallel backend smoke benchmark
 //	imaxbench -bench-pr3 OUT.json  execution-cache benchmark (backend × cache)
+//	imaxbench -bench-pr5 OUT.json  scoped-invalidation + affinity benchmark
 //	imaxbench -cpuprofile CPU.pprof -memprofile MEM.pprof ...
 package main
 
@@ -36,6 +37,7 @@ func run() int {
 	md := flag.Bool("md", false, "emit Markdown instead of plain text")
 	benchPR2 := flag.String("bench-pr2", "", "run the host-parallel smoke benchmark and write the JSON report here")
 	benchPR3 := flag.String("bench-pr3", "", "run the execution-cache benchmark and write the JSON report here")
+	benchPR5 := flag.String("bench-pr5", "", "run the scoped-invalidation/affinity benchmark and write the JSON report here")
 	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile here")
 	memprofile := flag.String("memprofile", "", "write a host heap profile here on exit")
 	flag.Parse()
@@ -116,6 +118,45 @@ func run() int {
 			}
 		}
 		fmt.Println("report:", *benchPR3)
+		return 0
+	}
+
+	if *benchPR5 != "" {
+		rep, err := experiments.BenchPR5(*benchPR5, 3)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "imaxbench:", err)
+			return 1
+		}
+		fmt.Printf("bench-pr5: host %d cpus, GOMAXPROCS %d, degenerate=%v (%s)\n",
+			rep.HostCPUs, rep.GOMAXPROCS, rep.Degenerate, rep.GoVersion)
+		warnSingleCPU(rep.GOMAXPROCS)
+		for _, r := range rep.Runs {
+			fmt.Printf("  %-22s %d cpus, %2d workers:\n", r.Workload, r.Processors, r.Workers)
+			fmt.Printf("    serial   uncached %8.2fms, cached %8.2fms: cache speedup %.2fx\n",
+				float64(r.SerialUncachedNs)/1e6, float64(r.SerialCachedNs)/1e6, r.CacheSpeedupSerial)
+			fmt.Printf("    parallel uncached %8.2fms, cached %8.2fms: cache speedup %.2fx, vs serial cached %.2fx\n",
+				float64(r.ParallelUncachedNs)/1e6, float64(r.ParallelCachedNs)/1e6,
+				r.CacheSpeedupParallel, r.ParallelSpeedup)
+			fmt.Printf("    epochs %d, commits %d, conflicts %d, aborts %d, cooldowns %d\n",
+				r.ParEpochs, r.ParCommits, r.ParConflicts, r.ParAborts, r.ParCooldowns)
+			fmt.Printf("    scoped invalidations %d, cache survivals %d, regroups %d\n",
+				r.ScopedInvalidations, r.CacheSurvivals, r.Regroups)
+			if !r.ResultsEqual {
+				fmt.Fprintf(os.Stderr, "imaxbench: %s: corner results diverged\n", r.Workload)
+				return 1
+			}
+			// The tentpole claim: on compute-shaped work the execution
+			// cache must pay under the parallel backend too. This is a
+			// within-backend ratio, so it holds even on a degenerate
+			// (GOMAXPROCS=1) host.
+			if r.Workload == "e3-compute" && r.ParallelCachedNs >= r.ParallelUncachedNs {
+				fmt.Fprintf(os.Stderr,
+					"imaxbench: %s: parallel cached (%dns) not faster than parallel uncached (%dns)\n",
+					r.Workload, r.ParallelCachedNs, r.ParallelUncachedNs)
+				return 1
+			}
+		}
+		fmt.Println("report:", *benchPR5)
 		return 0
 	}
 

@@ -15,8 +15,9 @@
 //     equals the summed footprint of its live allocations;
 //   - ports: the stored message count equals the occupied slots, waiters
 //     imply a full (senders) or empty (receivers) queue, wait queues are
-//     well-formed carrier chains with matching tails (§4), and every live
-//     carrier in the system is parked on exactly one queue;
+//     well-formed carrier chains with matching tails (§4), every live
+//     carrier in the system is parked on exactly one wait queue or free
+//     pool, and pooled carriers are scrubbed (no process, no message);
 //   - the collector: Dijkstra's tricolor invariant — no black object
 //     references a white one — and pinned roots are never white (§8.1);
 //   - dispatching: processor root slots agree with the on-chip binding,
@@ -315,6 +316,23 @@ func (a *Auditor) CheckPorts() []Violation {
 		for _, w := range st.Receivers {
 			checkWaiter(idx, w, false)
 		}
+		for _, ci := range st.Free {
+			carrierSeen[ci]++
+			cd := a.Table.DescriptorAt(ci)
+			if cd == nil || cd.Type != obj.TypeCarrier {
+				bad(idx, "free-pool node %d is not a live carrier", ci)
+				continue
+			}
+			car := a.capOf(ci)
+			if held, f := a.Table.LoadAD(car, port.CarSlotProcess); f != nil {
+				bad(idx, "pooled carrier %d unreadable: %v", ci, f)
+			} else if held.Valid() {
+				bad(idx, "pooled carrier %d still holds process %d", ci, held.Index)
+			}
+			if msg, f := a.Table.LoadAD(car, port.CarSlotMessage); f == nil && msg.Valid() {
+				bad(idx, "pooled carrier %d still holds message %d", ci, msg.Index)
+			}
+		}
 	}
 	for i := 1; i < a.Table.Len(); i++ {
 		idx := obj.Index(i)
@@ -326,7 +344,7 @@ func (a *Auditor) CheckPorts() []Violation {
 		case n == 0:
 			// Only conclusive when every queue was walkable.
 			if !skippedPorts {
-				bad(idx, "live carrier parked on no port wait queue")
+				bad(idx, "live carrier on no port wait queue or free pool")
 			}
 		case n > 1:
 			bad(idx, "carrier appears on %d wait queues", n)

@@ -1,0 +1,291 @@
+package experiments
+
+// BenchPR5 measures what the parallel backend pays after footprint-scoped
+// cache invalidation, persistent epoch forks, and conflict-affinity
+// scheduling: every workload runs at all four corners of {serial, parallel
+// backend} × {cache on, off}, and the report records host wall-clock plus
+// the backend's scoped-invalidation and regrouping counters. Four shapes:
+//
+//   - E3-shaped compute: disjoint run-to-completion loops. Before PR5 the
+//     headline failure: every committed epoch globally invalidated every
+//     execution cache, so cache_speedup_parallel sat at ~1.0 while the
+//     serial backend enjoyed >15x. Epoch forks now run the fast path over
+//     their shadows, so the parallel cached corner is the fast one.
+//   - E12-shaped ping-pong: blocking port traffic between two processors.
+//     Before PR5 not one epoch ever committed (carrier create/reclaim is
+//     structural); with pooled carriers and conflict-affinity grouping the
+//     pair co-schedules onto one fork and the traffic serialises locally —
+//     commits dominate.
+//   - Register-heavy inner loop: the fast path's best case.
+//   - Mixed compute + ping-pong: the shape affinity scheduling exists
+//     for — the ping-pong pair regroups onto one goroutine while the
+//     disjoint compute keeps committing in parallel around it.
+//
+// The four corners must agree exactly on virtual cycles and results — the
+// determinism contract — so results_equal is a correctness gate, not an
+// observation. host_cpus/gomaxprocs lead the report and `degenerate` is
+// emitted explicitly (never omitted): on a GOMAXPROCS=1 host every
+// parallel_speedup is the host's fault, and the honest claim is only the
+// cache ratio within each backend.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/gdp"
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/vtime"
+)
+
+// BenchPR5Run is one workload measured at all four backend × cache
+// corners (best of `reps` host wall-clock each).
+type BenchPR5Run struct {
+	Workload   string `json:"workload"`
+	Processors int    `json:"processors"`
+	Workers    int    `json:"workers"`
+
+	SerialUncachedNs   int64 `json:"serial_uncached_ns"`
+	SerialCachedNs     int64 `json:"serial_cached_ns"`
+	ParallelUncachedNs int64 `json:"parallel_uncached_ns"`
+	ParallelCachedNs   int64 `json:"parallel_cached_ns"`
+
+	CacheSpeedupSerial   float64 `json:"cache_speedup_serial"`
+	CacheSpeedupParallel float64 `json:"cache_speedup_parallel"`
+	ParallelSpeedup      float64 `json:"parallel_speedup"`
+
+	VirtualCycles uint64 `json:"virtual_cycles"`
+	ResultsEqual  bool   `json:"results_equal"`
+
+	// Parallel-backend counters for the parallel-cached run.
+	ParEpochs           uint64 `json:"par_epochs"`
+	ParCommits          uint64 `json:"par_commits"`
+	ParConflicts        uint64 `json:"par_conflicts"`
+	ParAborts           uint64 `json:"par_aborts"`
+	ParCooldowns        uint64 `json:"par_cooldowns"`
+	ScopedInvalidations uint64 `json:"scoped_invalidations"`
+	CacheSurvivals      uint64 `json:"cache_survivals"`
+	Regroups            uint64 `json:"regroups"`
+}
+
+// BenchPR5Report is the JSON artifact written by imaxbench -bench-pr5. The
+// host fields lead and Degenerate is always present: parallel wall-clock
+// ratios from a one-core host measure the host, not the backend.
+type BenchPR5Report struct {
+	HostCPUs   int    `json:"host_cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Degenerate bool   `json:"degenerate"`
+	GoVersion  string `json:"go_version"`
+
+	Runs []BenchPR5Run `json:"runs"`
+}
+
+// BenchPR5 runs every workload at all four corners (best of `reps` host
+// wall-clock) and writes the JSON report to path.
+func BenchPR5(path string, reps int) (*BenchPR5Report, error) {
+	if reps <= 0 {
+		reps = 3
+	}
+	rep := &BenchPR5Report{
+		HostCPUs:   runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Degenerate: runtime.GOMAXPROCS(0) == 1,
+		GoVersion:  runtime.Version(),
+	}
+	type workload struct {
+		name       string
+		processors int
+		workers    int
+		run        func(hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error)
+	}
+	const (
+		computeCPUs    = 6
+		computeWorkers = 24
+		computeIters   = 50_000
+		pingpongMsgs   = 3_000
+		regloopCPUs    = 4
+		regloopWorkers = 8
+		regloopIters   = 20_000
+		mixedCPUs      = 4
+		mixedWorkers   = 6
+		mixedIters     = 30_000
+		mixedMsgs      = 1_500
+	)
+	workloads := []workload{
+		{"e3-compute", computeCPUs, computeWorkers, func(hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
+			return benchCompute(computeCPUs, computeWorkers, computeIters, hostpar, nocache)
+		}},
+		{"e12-pingpong", 2, 2, func(hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
+			return benchPingPong(pingpongMsgs, hostpar, nocache)
+		}},
+		{"reg-loop", regloopCPUs, regloopWorkers, func(hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
+			return benchRegLoop(regloopCPUs, regloopWorkers, regloopIters, hostpar, nocache)
+		}},
+		{"mixed-compute-pingpong", mixedCPUs, mixedWorkers + 2, func(hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
+			return benchMixed(mixedCPUs, mixedWorkers, mixedIters, mixedMsgs, hostpar, nocache)
+		}},
+	}
+	type corner struct {
+		hostpar, nocache bool
+	}
+	corners := []corner{
+		{false, true},  // serial uncached: the reference semantics
+		{false, false}, // serial cached
+		{true, true},   // parallel uncached
+		{true, false},  // parallel cached: the corner this PR makes pay
+	}
+	for _, w := range workloads {
+		var ns [4]int64
+		var cy [4]vtime.Cycles
+		var sum [4]uint64
+		var ps gdp.ParStats
+		for i := 0; i < reps; i++ {
+			for ci, c := range corners {
+				t0 := time.Now()
+				ccy, csum, st, err := w.run(c.hostpar, c.nocache)
+				d := time.Since(t0).Nanoseconds()
+				if err != nil {
+					return nil, fmt.Errorf("%s hostpar=%v nocache=%v: %w", w.name, c.hostpar, c.nocache, err)
+				}
+				if i == 0 || d < ns[ci] {
+					ns[ci] = d
+				}
+				cy[ci], sum[ci] = ccy, csum
+				if c.hostpar && !c.nocache {
+					ps = st
+				}
+			}
+		}
+		equal := true
+		for ci := 1; ci < len(corners); ci++ {
+			if cy[ci] != cy[0] {
+				return nil, fmt.Errorf("%s: virtual time diverged: corner %d ran %d cycles vs reference %d",
+					w.name, ci, cy[ci], cy[0])
+			}
+			if sum[ci] != sum[0] {
+				equal = false
+			}
+		}
+		rep.Runs = append(rep.Runs, BenchPR5Run{
+			Workload:             w.name,
+			Processors:           w.processors,
+			Workers:              w.workers,
+			SerialUncachedNs:     ns[0],
+			SerialCachedNs:       ns[1],
+			ParallelUncachedNs:   ns[2],
+			ParallelCachedNs:     ns[3],
+			CacheSpeedupSerial:   float64(ns[0]) / float64(ns[1]),
+			CacheSpeedupParallel: float64(ns[2]) / float64(ns[3]),
+			ParallelSpeedup:      float64(ns[1]) / float64(ns[3]),
+			VirtualCycles:        uint64(cy[0]),
+			ResultsEqual:         equal,
+			ParEpochs:            ps.Epochs,
+			ParCommits:           ps.Commits,
+			ParConflicts:         ps.Conflicts,
+			ParAborts:            ps.Aborts,
+			ParCooldowns:         ps.Cooldowns,
+			ScopedInvalidations:  ps.ScopedInvalidations,
+			CacheSurvivals:       ps.CacheSurvivals,
+			Regroups:             ps.Regroups,
+		})
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// benchMixed is the affinity shape: a blocking ping-pong pair sharing the
+// machine with disjoint compute workers. The conflict-affinity map should
+// co-schedule the two communicating processors onto one fork (regroups > 0)
+// while the compute keeps committing around them. The sum folds the compute
+// results and the dispatch counters so the corners can be compared.
+func benchMixed(cpus, workers int, iters uint32, msgs int, hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
+	sys, err := gdp.New(gdp.Config{Processors: cpus, HostParallel: hostpar, NoExecCache: nocache})
+	if err != nil {
+		return 0, 0, gdp.ParStats{}, err
+	}
+	ping, f := sys.Ports.Create(sys.Heap, 1, 0)
+	if f != nil {
+		return 0, 0, gdp.ParStats{}, f
+	}
+	pong, f := sys.Ports.Create(sys.Heap, 1, 0)
+	if f != nil {
+		return 0, 0, gdp.ParStats{}, f
+	}
+	ball, f := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+	if f != nil {
+		return 0, 0, gdp.ParStats{}, f
+	}
+	player := func(starts bool) []isa.Instr {
+		prog := []isa.Instr{isa.MovI(4, uint32(msgs)), isa.MovI(5, 0)}
+		loop := uint32(len(prog))
+		if starts {
+			prog = append(prog, isa.Send(1, 3, 5), isa.Recv(1, 2))
+		} else {
+			prog = append(prog, isa.Recv(1, 2), isa.Send(1, 3, 5))
+		}
+		return append(prog, isa.AddI(4, 4, ^uint32(0)), isa.BrNZ(4, loop), isa.Halt())
+	}
+	serveDom, f := makeDomain(sys, player(true))
+	if f != nil {
+		return 0, 0, gdp.ParStats{}, f
+	}
+	returnDom, f := makeDomain(sys, player(false))
+	if f != nil {
+		return 0, 0, gdp.ParStats{}, f
+	}
+	if _, f := sys.Spawn(serveDom, gdp.SpawnSpec{AArgs: [4]obj.AD{obj.NilAD, ball, pong, ping}}); f != nil {
+		return 0, 0, gdp.ParStats{}, f
+	}
+	if _, f := sys.Spawn(returnDom, gdp.SpawnSpec{AArgs: [4]obj.AD{obj.NilAD, obj.NilAD, ping, pong}}); f != nil {
+		return 0, 0, gdp.ParStats{}, f
+	}
+	results := make([]obj.AD, workers)
+	for i := range results {
+		r, f := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
+		if f != nil {
+			return 0, 0, gdp.ParStats{}, f
+		}
+		dom, f := makeDomain(sys, []isa.Instr{
+			isa.MovI(1, iters+uint32(i)),
+			isa.MovI(0, 0),
+			isa.Add(0, 0, 1),
+			isa.AddI(1, 1, ^uint32(0)),
+			isa.BrNZ(1, 2),
+			isa.Store(0, 0, 0),
+			isa.Halt(),
+		})
+		if f != nil {
+			return 0, 0, gdp.ParStats{}, f
+		}
+		if _, f := sys.Spawn(dom, gdp.SpawnSpec{AArgs: [4]obj.AD{r}}); f != nil {
+			return 0, 0, gdp.ParStats{}, f
+		}
+		results[i] = r
+	}
+	elapsed, f := sys.Run(0)
+	if f != nil {
+		return 0, 0, gdp.ParStats{}, f
+	}
+	var sum uint64
+	for _, r := range results {
+		v, f := sys.Table.ReadDWord(r, 0)
+		if f != nil {
+			return 0, 0, gdp.ParStats{}, f
+		}
+		sum += uint64(v)
+	}
+	for _, cpu := range sys.CPUs {
+		sum += cpu.Dispatches
+	}
+	return elapsed, sum, sys.ParStats(), nil
+}

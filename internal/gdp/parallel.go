@@ -1,19 +1,25 @@
 package gdp
 
-// The parallel host backend: within one Step, every simulated processor's
-// quantum runs on its own *host* goroutine against an epoch fork of the
-// machine state (obj.Table.Fork over mem.Memory.Fork), then the forks
-// commit in canonical processor order at a barrier. Virtual time, fault
-// behaviour, and the kernel event log are byte-identical to the serial
-// backend by construction:
+// The parallel host backend: within one Step, the simulated processors are
+// partitioned into conflict-affinity groups, each group's quanta run
+// sequentially on one *host* goroutine against an epoch fork of the machine
+// state (obj.Table.Fork over mem.Memory.Fork), and the forks commit in
+// canonical order at a barrier. Virtual time, fault behaviour, and the
+// kernel event log are byte-identical to the serial backend by
+// construction:
 //
-//   - A fork never reads another processor's epoch writes, so the only
-//     epochs allowed to commit are those where the serial interleaving
-//     within the step could not have communicated either — detected by
-//     intersecting read/write footprints (descriptor slots exactly, memory
-//     pages refined to byte-granular bitmaps for first-fit boundary pages).
-//   - Committing in processor order replays exactly the serial emission
-//     order of trace events and the serial accumulation order of stats.
+//   - Within a group, members execute sequentially in ascending processor
+//     order — exactly the serial interleaving restricted to the group, so
+//     intra-group communication (port ping-pong, dispatch races) is simply
+//     correct, not a conflict.
+//   - A fork never reads another group's epoch writes, so the only epochs
+//     allowed to commit are those where the serial interleaving could not
+//     have communicated across groups either — detected by intersecting
+//     read/write footprints (descriptor slots exactly, memory pages refined
+//     to byte-granular bitmaps for first-fit boundary pages). Disjointness
+//     makes every inter-group interleaving equivalent; the canonical serial
+//     one is re-established at commit by ordering trace emission and stats
+//     accumulation by processor id.
 //   - Anything a fork cannot reproduce speculatively — object creation or
 //     destruction (slot and extent allocation order), native Go bodies
 //     (they mutate host state outside the object world), a system-level
@@ -21,12 +27,22 @@ package gdp
 //
 // A conflicting or aborted epoch is discarded wholesale and replayed with
 // the serial backend; since speculation never touched real state, the
-// replay IS the serial execution. Parallelism is therefore purely a host
-// wall-clock optimisation: heavy compute epochs commit, epochs with
-// cross-processor traffic (port contention, dispatching races, daemons)
-// serialise, and either way the simulated machine cannot tell.
+// replay IS the serial execution. Each cross-group conflict also feeds the
+// decayed affinity map: processors that keep conflicting are co-scheduled
+// into one group next epoch, so their traffic serialises locally while
+// disjoint compute keeps committing in parallel. Parallelism is therefore
+// purely a host wall-clock optimisation — the simulated machine cannot
+// tell, whatever the grouping.
+//
+// Committed epochs no longer invalidate every execution cache: ForkCommit
+// reports exactly the descriptor slots it changed (plus the objects that
+// took cache-hazard AD stores), and scopedInvalidate kills only the caches
+// whose pinned objects appear in that set. Memory-byte writes need no
+// invalidation — cached windows are live views over the same backing
+// array. See DESIGN.md §8 for the full soundness argument.
 
 import (
+	"math/bits"
 	"sync"
 
 	"repro/internal/domain"
@@ -41,8 +57,8 @@ import (
 
 // forkLogCapacity sizes each fork's private trace ring. A quantum is a few
 // thousand cycles and the cheapest traced operation costs ~4, so 32k events
-// is far past any real epoch; overflow aborts the epoch rather than lose
-// events.
+// is far past any real epoch, even with several group members sharing the
+// ring; overflow aborts the epoch rather than lose events.
 const forkLogCapacity = 1 << 15
 
 // maxParallelCPUs bounds the backend to the width of the footprint
@@ -52,9 +68,20 @@ const maxParallelCPUs = 64
 // parStreakLimit is the number of consecutive discarded epochs that
 // triggers the abort backoff (Config.ParallelCooldown serial steps). The
 // pathological case is a workload whose every epoch communicates across
-// processors — port ping-pong — where speculation can never commit and
-// each step costs a fork setup plus the serial replay.
+// groups faster than affinity can co-schedule it — then speculation can
+// never commit and each step costs a fork setup plus the serial replay.
 const parStreakLimit = 4
+
+// Conflict-affinity tuning. Each cross-group conflict boosts the score of
+// every processor pair spanning the two groups by affinityBoost (saturating
+// at affinityMax); every parallel epoch decays every score by one. Two
+// processors share a group while their score is positive, so a single
+// conflict co-schedules them for affinityBoost epochs and sustained traffic
+// pins them together for up to affinityMax.
+const (
+	affinityBoost = 16
+	affinityMax   = 64
+)
 
 // specCtl is the kill switch of one speculation. It lives on the fork
 // systems only; the real system's spec field is nil.
@@ -68,12 +95,17 @@ func (s *System) specDead() bool {
 	return s.spec != nil && (s.spec.dead || s.Table.ForkAborted())
 }
 
-// epochFork is one processor's speculation apparatus, reused across epochs.
+// epochFork is one group's speculation apparatus, reused across epochs. Its
+// shadow system, CPU copies (with their fork-local execution caches), trace
+// ring, and epoch decode cache all persist; begin() resets in O(touched).
 type epochFork struct {
-	sys  *System    // shadow system over the fork table
-	cpu  *CPU       // epoch-local copy of the real CPU
-	log  *trace.Log // private event ring, re-emitted on commit
-	seq0 uint64     // log sequence at epoch start, for overflow detection
+	sys     *System    // shadow system over the fork table
+	members []int      // real processor ids this epoch, ascending
+	cpus    []*CPU     // epoch-local copies of the members' CPUs
+	segs    []uint64   // log sequence after each member's quantum
+	log     *trace.Log // private event ring, re-emitted on commit
+	seq0    uint64     // log sequence at epoch start, for overflow detection
+	tainted bool       // the last epoch this fork ran was discarded
 
 	worked bool
 	fault  *obj.Fault
@@ -112,11 +144,12 @@ func (s *System) injectionImminent(quantum vtime.Cycles) bool {
 	return next < s.instructions+bound
 }
 
-// buildForks constructs one epoch fork per processor. The fork system
-// shares everything immutable-during-a-step with the real system (the
-// native-body registry, the handler registry via the epoch domain manager,
-// configuration) and owns fork views of everything mutable (table, memory,
-// per-epoch stats, trace ring).
+// buildForks constructs one epoch fork per processor (an epoch uses the
+// first len(groups) of them). The fork system shares everything
+// immutable-during-a-step with the real system (the native-body registry,
+// the handler registry via the epoch domain manager, configuration) and
+// owns fork views of everything mutable (table, memory, per-epoch stats,
+// trace ring, execution caches).
 func (s *System) buildForks() {
 	s.forks = make([]*epochFork, len(s.CPUs))
 	for i := range s.CPUs {
@@ -134,23 +167,47 @@ func (s *System) buildForks() {
 			contention:   s.contention,
 			deadline:     s.deadline,
 			deadlineBase: s.deadlineBase,
+			xcOff:        s.xcOff,
 			spec:         &specCtl{},
 		}
 		fs.Domains = domain.NewEpochManager(ftab, fsro, s.Domains)
-		s.forks[i] = &epochFork{sys: fs, cpu: &CPU{}}
+		s.forks[i] = &epochFork{sys: fs}
 	}
 }
 
-// begin readies the fork for a new epoch: fresh CPU copy, cleared
-// footprints and caches, and a private trace ring iff the real system is
-// tracing.
-func (fk *epochFork) begin(s *System, real *CPU, tr *trace.Log) {
+// begin readies the fork for a new epoch over the given group members:
+// fresh CPU copies (keeping each slot's fork-local execution cache, marked
+// stale so the first fast instruction re-primes against the new shadow),
+// cleared footprints, and a private trace ring iff the real system is
+// tracing. The epoch decode cache survives committed epochs — its entries
+// were decoded from bytes that are now real — and resets only after a
+// discarded one, whose decodes may alias speculative state.
+func (fk *epochFork) begin(s *System, members []int, tr *trace.Log) {
 	fs := fk.sys
-	*fk.cpu = *real
+	fk.members = members
+	for len(fk.cpus) < len(members) {
+		fk.cpus = append(fk.cpus, &CPU{})
+	}
+	if cap(fk.segs) < len(members) {
+		fk.segs = make([]uint64, len(members))
+	}
+	fk.segs = fk.segs[:len(members)]
+	for j, id := range members {
+		c := fk.cpus[j]
+		xc := c.xc
+		*c = *s.CPUs[id]
+		c.xc = xc // the fork cache stays with the fork; the real one with the real CPU
+		if xc != nil {
+			xc.invalidate()
+		}
+	}
 	fs.busyThisStep = s.busyThisStep
 	fs.dispatches, fs.preemptions, fs.faultsSent, fs.instructions = 0, 0, 0, 0
 	fs.spec.dead = false
-	fs.Domains.ResetEpochCache()
+	if fk.tainted {
+		fs.Domains.ResetEpochCache()
+		fk.tainted = false
+	}
 	fs.Table.ForkReset()
 	if tr != nil {
 		if fk.log == nil {
@@ -166,37 +223,62 @@ func (fk *epochFork) begin(s *System, real *CPU, tr *trace.Log) {
 	fk.worked, fk.fault = false, nil
 }
 
+// run executes the group's quanta sequentially in ascending processor
+// order — the serial backend's own order restricted to the group — and
+// records the trace-ring high-water mark after each member so commit can
+// re-emit every member's events at its canonical global position.
+func (fk *epochFork) run(quantum vtime.Cycles) {
+	for j := range fk.members {
+		w, f := fk.sys.stepCPU(fk.cpus[j], quantum)
+		fk.worked = fk.worked || w
+		if fk.log != nil {
+			fk.segs[j] = fk.log.Seq()
+		}
+		if f != nil {
+			fk.fault = f
+			return
+		}
+		if fk.sys.specDead() {
+			return
+		}
+	}
+}
+
 // overflowed reports whether the fork's trace ring wrapped this epoch —
 // events were lost, so faithful re-emission is impossible.
 func (fk *epochFork) overflowed() bool {
 	return fk.log != nil && fk.log.Seq()-fk.seq0 > forkLogCapacity
 }
 
-// stepParallel runs one step's quanta concurrently on host goroutines and
-// commits, or falls back to serial replay. It is only called from Step,
-// after the contention prologue, so busyThisStep is already current.
+// stepParallel runs one step's quanta concurrently on host goroutines (one
+// per affinity group) and commits, or falls back to serial replay. It is
+// only called from Step, after the contention prologue, so busyThisStep is
+// already current.
 func (s *System) stepParallel(quantum vtime.Cycles) (bool, *obj.Fault) {
 	if len(s.forks) != len(s.CPUs) {
 		s.buildForks()
 	}
+	s.regroup()
+	groups := s.groups
 	s.parEpochs++
 	tr := s.Tracer()
-	for i, fk := range s.forks {
-		fk.begin(s, s.CPUs[i], tr)
+	active := s.forks[:len(groups)]
+	for gi, fk := range active {
+		fk.begin(s, groups[gi], tr)
 	}
 
 	var wg sync.WaitGroup
-	for _, fk := range s.forks {
+	for _, fk := range active {
 		wg.Add(1)
 		go func(fk *epochFork) {
 			defer wg.Done()
-			fk.worked, fk.fault = fk.sys.stepCPU(fk.cpu, quantum)
+			fk.run(quantum)
 		}(fk)
 	}
 	wg.Wait()
 
 	aborted := false
-	for _, fk := range s.forks {
+	for _, fk := range active {
 		if fk.fault != nil || fk.sys.specDead() || fk.overflowed() {
 			aborted = true
 			break
@@ -204,13 +286,17 @@ func (s *System) stepParallel(quantum vtime.Cycles) (bool, *obj.Fault) {
 	}
 	if aborted {
 		s.parAborts++
-	} else if s.forkConflicts() {
+	} else if s.forkConflicts(active) {
 		s.parConflicts++
+		s.bumpAffinity()
 		aborted = true
 	}
 	if aborted {
 		// Discard everything and replay on the real state: speculation
 		// never touched it, so the replay IS the serial execution.
+		for _, fk := range active {
+			fk.tainted = true
+		}
 		s.parReplays++
 		s.parStreak++
 		if s.parCooldown > 0 && s.parStreak >= parStreakLimit {
@@ -222,24 +308,30 @@ func (s *System) stepParallel(quantum vtime.Cycles) (bool, *obj.Fault) {
 	}
 	s.parStreak = 0
 
-	// Commit in canonical processor order. With no conflicts, applying
-	// each fork's writes, stats deltas, decode-cache entries and trace
-	// events in that order reproduces the serial step exactly.
+	// Commit in canonical group order (groups are leader-ordered and
+	// pairwise disjoint, so any order yields the same bytes), accumulating
+	// the epoch's descriptor write set for scoped invalidation.
 	worked := false
-	for i, fk := range s.forks {
-		fk.sys.Table.ForkCommit()
-		*s.CPUs[i] = *fk.cpu
+	writes := s.cfWrites[:0]
+	for gi, fk := range active {
+		writes = append(writes, fk.sys.Table.ForkCommit()...)
+		for j, id := range groups[gi] {
+			real := s.CPUs[id]
+			xc := real.xc
+			*real = *fk.cpus[j]
+			real.xc = xc // keep the real cache; scoped invalidation decides its fate
+		}
 		s.dispatches += fk.sys.dispatches
 		s.preemptions += fk.sys.preemptions
 		s.faultsSent += fk.sys.faultsSent
 		s.instructions += fk.sys.instructions
 		fk.sys.Domains.MergeEpochCache(s.Domains)
-		if tr != nil && fk.log != nil {
-			for _, e := range fk.log.Events() {
-				tr.Emit(e.Kind, e.Obj, e.Arg, e.Aux)
-			}
-		}
 		worked = worked || fk.worked
+	}
+	s.cfWrites = writes
+	s.scopedInvalidate(writes)
+	if tr != nil {
+		s.emitEpochTrace(tr, active)
 	}
 	s.parCommits++
 
@@ -251,17 +343,185 @@ func (s *System) stepParallel(quantum vtime.Cycles) (bool, *obj.Fault) {
 	return worked, nil
 }
 
+// scopedInvalidate kills exactly the live execution caches whose pinned
+// objects (process, context, domain, code, or any resolve way) appear in
+// the committed epoch's descriptor write set, and counts the rest as
+// survivals. Memory-byte writes never appear here — cached windows alias
+// live memory, so committed bytes are coherent by construction — and
+// structural events never reach a commit (they abort the epoch and bump
+// the generation globally on the serial replay instead).
+func (s *System) scopedInvalidate(written []obj.Index) {
+	gen := s.Table.CacheGen()
+	for _, cpu := range s.CPUs {
+		xc := cpu.xc
+		if xc == nil || xc.gen != gen || xc.proc != cpu.proc || !cpu.proc.Valid() {
+			continue // not live: will re-prime before next use anyway
+		}
+		if cacheTouches(xc, written) {
+			xc.invalidate()
+			s.parScopedInv++
+		} else {
+			s.parSurvivals++
+		}
+	}
+}
+
+// cacheTouches reports whether any committed descriptor write lands on an
+// object the cache pins. Both sets are tiny (a cache pins at most 4 +
+// resolveWays objects), so the nested scan beats building an index.
+func cacheTouches(xc *execCache, written []obj.Index) bool {
+	for _, idx := range written {
+		if idx == xc.proc.Index || idx == xc.ctx.Index ||
+			idx == xc.dom.Index || idx == xc.code.Index {
+			return true
+		}
+		for _, e := range xc.res {
+			if e.win != nil && e.ad.Index == idx {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// emitEpochTrace replays every member's private event segment into the real
+// log in ascending processor order — the serial backend's emission order.
+// Within a group the segments were recorded in member order (run()), and
+// across groups disjointness makes the serial order the canonical choice.
+func (s *System) emitEpochTrace(tr *trace.Log, active []*epochFork) {
+	for id := range s.CPUs {
+		fk := active[s.groupOf[id]]
+		if fk.log == nil {
+			continue
+		}
+		j := 0
+		for fk.members[j] != id {
+			j++
+		}
+		evs := fk.log.Events()
+		lo := uint64(0)
+		if j > 0 {
+			lo = fk.segs[j-1] - fk.seq0
+		}
+		hi := fk.segs[j] - fk.seq0
+		for _, e := range evs[lo:hi] {
+			tr.Emit(e.Kind, e.Obj, e.Arg, e.Aux)
+		}
+	}
+}
+
+// affKey canonicalises a processor pair into one affinity-map key.
+func affKey(a, b int) int {
+	if a > b {
+		a, b = b, a
+	}
+	return a*maxParallelCPUs + b
+}
+
+// regroup decays the affinity scores and rebuilds the epoch's processor
+// partition: connected components of the positive-score pair graph, via
+// union-find with the smallest member as each component's root. The
+// resulting groups are leader-ordered with ascending members, so the
+// partition is a pure function of the score set — identical across runs.
+func (s *System) regroup() {
+	if s.affinity == nil {
+		s.affinity = make(map[int]int)
+	}
+	for k, v := range s.affinity {
+		if v <= 1 {
+			delete(s.affinity, k)
+		} else {
+			s.affinity[k] = v - 1
+		}
+	}
+	n := len(s.CPUs)
+	if cap(s.ufScratch) < n {
+		s.ufScratch = make([]int, n)
+		s.groupOf = make([]int, n)
+	}
+	uf := s.ufScratch[:n]
+	for i := range uf {
+		uf[i] = i
+	}
+	find := func(x int) int {
+		for uf[x] != x {
+			uf[x] = uf[uf[x]]
+			x = uf[x]
+		}
+		return x
+	}
+	for k := range s.affinity {
+		a, b := k/maxParallelCPUs, k%maxParallelCPUs
+		if a >= n || b >= n {
+			continue
+		}
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			continue
+		}
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		// Linking the larger root under the smaller keeps every root the
+		// minimum of its component, so the final partition is independent
+		// of the map's iteration order.
+		uf[rb] = ra
+	}
+	groupOf := s.groupOf[:n]
+	s.groups = s.groups[:0]
+	for i := 0; i < n; i++ {
+		if r := find(i); r == i {
+			groupOf[i] = len(s.groups)
+			s.groups = append(s.groups, []int{i})
+		} else {
+			gi := groupOf[r]
+			groupOf[i] = gi
+			s.groups[gi] = append(s.groups[gi], i)
+		}
+	}
+	if len(s.prevGroupOf) == n {
+		for i, g := range groupOf {
+			if s.prevGroupOf[i] != g {
+				s.parRegroups++
+				break
+			}
+		}
+	}
+	s.prevGroupOf = append(s.prevGroupOf[:0], groupOf...)
+}
+
+// bumpAffinity records this epoch's cross-group conflicts: every processor
+// pair spanning a conflicting group pair gets a saturating score boost.
+// Scores only feed the grouping heuristic — which affects host scheduling,
+// never simulated bytes — so the order pairs arrive in is immaterial
+// (boost-and-saturate is commutative).
+func (s *System) bumpAffinity() {
+	for _, pr := range s.cfPairs {
+		for _, a := range s.groups[pr[0]] {
+			for _, b := range s.groups[pr[1]] {
+				k := affKey(a, b)
+				v := s.affinity[k] + affinityBoost
+				if v > affinityMax {
+					v = affinityMax
+				}
+				s.affinity[k] = v
+			}
+		}
+	}
+}
+
 // touchers is the per-slot (or per-page) mask pair of the conflict
-// detector: which forks read it, which wrote it.
+// detector: which groups read it, which wrote it.
 type touchers struct{ readers, writers uint64 }
 
-// forkConflicts reports whether any two forks' epoch footprints overlap in
+// forkConflicts reports whether any two groups' epoch footprints overlap in
 // a way serial execution could have observed: a descriptor slot or memory
-// byte written by one processor and touched by any other. Its scratch maps
+// byte written by one group and touched by any other. Conflicting group
+// pairs are collected into s.cfPairs for the affinity map. Its scratch maps
 // and the refinement id slice are pooled on the System — an epoch's
 // conflict check runs once per Step, and allocating the maps fresh each
 // time dominated the commit path's host cost.
-func (s *System) forkConflicts() bool {
+func (s *System) forkConflicts(active []*epochFork) bool {
 	if s.cfDescs == nil {
 		s.cfDescs = make(map[obj.Index]touchers)
 		s.cfPages = make(map[uint32]touchers)
@@ -269,7 +529,8 @@ func (s *System) forkConflicts() bool {
 	descs, pages := s.cfDescs, s.cfPages
 	clear(descs)
 	clear(pages)
-	for i, fk := range s.forks {
+	s.cfPairs = s.cfPairs[:0]
+	for i, fk := range active {
 		bit := uint64(1) << i
 		for _, idx := range fk.sys.Table.ForkTouched() {
 			t := descs[idx]
@@ -301,9 +562,23 @@ func (s *System) forkConflicts() bool {
 		// Two writers, or a writer plus any other toucher.
 		return w&(w-1) != 0 || (t.readers|t.writers)&^w != 0
 	}
+	// collect records every writer/other-toucher group pair of one slot.
+	collect := func(t touchers) {
+		all := t.readers | t.writers
+		for wm := t.writers; wm != 0; wm &= wm - 1 {
+			i := bits.TrailingZeros64(wm)
+			for om := all &^ (uint64(1) << i); om != 0; om &= om - 1 {
+				j := bits.TrailingZeros64(om)
+				if j < i && t.writers&(uint64(1)<<j) != 0 {
+					continue // writer-writer pair already collected as (j, i)
+				}
+				s.cfPairs = append(s.cfPairs, [2]int{i, j})
+			}
+		}
+	}
 	for _, t := range descs {
 		if conflicting(t) {
-			return true
+			collect(t)
 		}
 	}
 	for p, t := range pages {
@@ -311,30 +586,31 @@ func (s *System) forkConflicts() bool {
 			continue
 		}
 		// Page-level overlap: refine to bytes. First-fit allocation packs
-		// unrelated objects into adjacent bytes, so processors working on
+		// unrelated objects into adjacent bytes, so groups working on
 		// disjoint objects routinely share a boundary page without
 		// sharing a byte.
 		ids := s.cfIDs[:0]
 		all := t.readers | t.writers
-		for i := range s.forks {
+		for i := range active {
 			if all&(1<<i) != 0 {
 				ids = append(ids, i)
 			}
 		}
 		s.cfIDs = ids
 		for ai := 0; ai < len(ids); ai++ {
-			ra, wa := s.forks[ids[ai]].sys.Table.ForkPageFootprint(p)
+			ra, wa := active[ids[ai]].sys.Table.ForkPageFootprint(p)
 			for bi := ai + 1; bi < len(ids); bi++ {
-				rb, wb := s.forks[ids[bi]].sys.Table.ForkPageFootprint(p)
+				rb, wb := active[ids[bi]].sys.Table.ForkPageFootprint(p)
 				for k := range wa {
 					if wa[k]&(rb[k]|wb[k]) != 0 || wb[k]&(ra[k]|wa[k]) != 0 {
-						return true
+						s.cfPairs = append(s.cfPairs, [2]int{ids[ai], ids[bi]})
+						break
 					}
 				}
 			}
 		}
 	}
-	return false
+	return len(s.cfPairs) > 0
 }
 
 // ParStats counts parallel-backend outcomes per epoch (one Step on the
@@ -347,17 +623,28 @@ type ParStats struct {
 	Aborts    uint64 // epochs discarded for structural ops/faults/daemons
 	Replays   uint64 // serial replays (= Conflicts + Aborts)
 	Cooldowns uint64 // abort backoffs entered (parStreakLimit discards in a row)
+
+	// Footprint-scoped invalidation outcomes over committed epochs.
+	ScopedInvalidations uint64 // live caches killed by a committed descriptor write
+	CacheSurvivals      uint64 // live caches that survived a commit intact
+
+	// Regroups counts epochs whose affinity partition differed from the
+	// previous epoch's — conflict pressure reshaping the schedule.
+	Regroups uint64
 }
 
 // ParStats reports the parallel backend's counters; all zero when the
 // backend is disabled.
 func (s *System) ParStats() ParStats {
 	return ParStats{
-		Epochs:    s.parEpochs,
-		Commits:   s.parCommits,
-		Conflicts: s.parConflicts,
-		Aborts:    s.parAborts,
-		Replays:   s.parReplays,
-		Cooldowns: s.parCooldowns,
+		Epochs:              s.parEpochs,
+		Commits:             s.parCommits,
+		Conflicts:           s.parConflicts,
+		Aborts:              s.parAborts,
+		Replays:             s.parReplays,
+		Cooldowns:           s.parCooldowns,
+		ScopedInvalidations: s.parScopedInv,
+		CacheSurvivals:      s.parSurvivals,
+		Regroups:            s.parRegroups,
 	}
 }

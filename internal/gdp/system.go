@@ -138,12 +138,14 @@ type System struct {
 	deadlineBase vtime.Cycles
 
 	// Parallel host backend (parallel.go). hostpar enables it; forks are
-	// the per-processor epoch forks, built lazily; spec is non-nil only on
-	// the epoch-fork shadow systems themselves. parCooldown is the
-	// resolved abort-backoff length; parStreak counts consecutive
-	// discarded epochs and parCoolLeft the serial steps still owed to the
-	// current backoff. Conflict-detection scratch maps are pooled across
-	// epochs (cfDescs/cfPages/cfIDs).
+	// the per-processor epoch forks, built lazily (an epoch uses one per
+	// affinity group); spec is non-nil only on the epoch-fork shadow
+	// systems themselves. parCooldown is the resolved abort-backoff
+	// length; parStreak counts consecutive discarded epochs and
+	// parCoolLeft the serial steps still owed to the current backoff.
+	// Conflict-detection scratch maps are pooled across epochs
+	// (cfDescs/cfPages/cfIDs), as are the epoch's conflicting group pairs
+	// (cfPairs) and committed descriptor write set (cfWrites).
 	hostpar     bool
 	forks       []*epochFork
 	spec        *specCtl
@@ -153,6 +155,19 @@ type System struct {
 	cfDescs     map[obj.Index]touchers
 	cfPages     map[uint32]touchers
 	cfIDs       []int
+	cfPairs     [][2]int
+	cfWrites    []obj.Index
+
+	// Conflict-affinity scheduling state (parallel.go). affinity maps a
+	// canonical processor-pair key to a decayed conflict score; groups is
+	// the current epoch's partition (leader-ordered, members ascending),
+	// groupOf the per-processor group index, prevGroupOf last epoch's for
+	// the Regroups counter, ufScratch the pooled union-find array.
+	affinity    map[int]int
+	groups      [][]int
+	groupOf     []int
+	prevGroupOf []int
+	ufScratch   []int
 
 	// xcOff disables the execution cache (Config.NoExecCache), forcing
 	// every instruction down the uncached reference path.
@@ -176,6 +191,9 @@ type System struct {
 	parAborts    uint64
 	parReplays   uint64
 	parCooldowns uint64
+	parScopedInv uint64
+	parSurvivals uint64
+	parRegroups  uint64
 }
 
 type bodyReg struct {

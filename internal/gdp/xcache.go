@@ -31,14 +31,22 @@ package gdp
 //     goes through the unchanged execInstr after a fast fetch whose writes
 //     (IP, instruction counters) replicate the slow prologue exactly.
 //
-// Speculative epoch forks never use the cache (their reads and writes must
-// flow through the footprint-tracking shadows), so the parallel backend's
-// conflict detection is unaffected.
+// Speculative epoch forks run the same fast path over their shadow images:
+// mem.Window on a fork touches the extent into the footprint-tracking
+// shadow (address-stable across epochs), the prime conservatively marks the
+// whole context data extent as written (the fast path writes IP and
+// registers through it; unwritten marked bytes equal the parent's, so the
+// commit copy-back of them is a no-op and over-marking can only add
+// deterministic conflicts, never hide one), and fast stores report their
+// exact byte span through mem.MarkForkWrite. Fork caches never survive an
+// epoch boundary — the driver invalidates them in begin(), and the first
+// fast instruction of the epoch re-primes against the fresh shadow.
 
 import (
 	"encoding/binary"
 
 	"repro/internal/isa"
+	"repro/internal/mem"
 	"repro/internal/obj"
 	"repro/internal/process"
 	"repro/internal/vtime"
@@ -51,10 +59,13 @@ const resolveWays = 8
 
 // resolveEntry caches one translated operand capability: the exact AD (the
 // full value participates in the hit check, so rights and generation are
-// part of the key) and a live window over its data part.
+// part of the key), a live window over its data part, and the data part's
+// base address so fast stores through a fork window can report their write
+// span to the footprint tracker.
 type resolveEntry struct {
-	ad  obj.AD
-	win []byte
+	ad   obj.AD
+	win  []byte
+	base mem.Addr
 }
 
 // execCache is one processor's pinned execution state. It is valid only
@@ -68,9 +79,18 @@ type execCache struct {
 	win  []byte // context data part: IP, resume word, register file
 	awin []byte // context access part: linkage slots + access registers
 	dom  obj.AD // current domain (CtxSlotDomain at prime time)
+	code obj.AD // the domain's code object (prog was decoded from it)
 	prog []isa.Instr
 	res  [resolveWays]resolveEntry
 }
+
+// staleGen is never a real cache generation (generations count up from
+// zero), so assigning it unconditionally fails the fast path's generation
+// check. Both the footprint-scoped invalidation pass after a committed
+// parallel epoch and the per-epoch fork-cache reset kill caches this way.
+const staleGen = ^uint64(0)
+
+func (xc *execCache) invalidate() { xc.gen = staleGen }
 
 // Window accessors over the context data part. Offsets are the context
 // object's architectural layout (process.CtxOff*); the prime established
@@ -97,7 +117,7 @@ func setWinReg(win []byte, r uint8, v uint32) {
 // nil return (anything at all out of the ordinary) simply leaves the slow
 // path to run and produce the canonical behaviour.
 func (s *System) primeExecCache(cpu *CPU) *execCache {
-	if s.xcOff || s.spec != nil || !cpu.proc.Valid() {
+	if s.xcOff || !cpu.proc.Valid() {
 		return nil
 	}
 	gen := s.Table.CacheGen()
@@ -130,6 +150,13 @@ func (s *System) primeExecCache(cpu *CPU) *execCache {
 	if len(win) < process.CtxDataBytes || awin == nil {
 		return nil
 	}
+	// On a speculative fork the windows alias the footprint shadow; the
+	// fast path writes IP and registers through win without further
+	// bookkeeping, so mark the whole context data extent written up front.
+	// Bytes the epoch never actually writes still equal the parent's, so
+	// committing them is a no-op; the over-marking can only widen the
+	// conflict footprint (deterministically), never hide a write.
+	m.MarkForkWrite(cd.Data.Base, cd.Data.Len)
 	dom, f := s.Table.LoadAD(ctx, process.CtxSlotDomain)
 	if f != nil {
 		return nil
@@ -154,6 +181,7 @@ func (s *System) primeExecCache(cpu *CPU) *execCache {
 		win:  win,
 		awin: awin,
 		dom:  dom,
+		code: code,
 		prog: prog,
 	}
 	return xc
@@ -167,16 +195,17 @@ func (xc *execCache) areg(r uint8) obj.AD {
 }
 
 // operand translates ad through the direct-mapped resolve cache, returning
-// a live window over its data part. A miss performs the full resolution
-// (validity, generation, presence) and fills the way; the table generation
-// check in the caller guarantees every entry was filled under the current
-// generation. Rights are not checked here — they ride in the cached AD
-// value and the caller tests the bit it needs. nil means the fast path must
-// not handle this operand.
-func (xc *execCache) operand(s *System, ad obj.AD) []byte {
+// the filled way: a live window over the object's data part plus its base
+// address. A miss performs the full resolution (validity, generation,
+// presence) and fills the way; the table generation check in the caller
+// guarantees every entry was filled under the current generation. Rights
+// are not checked here — they ride in the cached AD value and the caller
+// tests the bit it needs. nil means the fast path must not handle this
+// operand.
+func (xc *execCache) operand(s *System, ad obj.AD) *resolveEntry {
 	e := &xc.res[uint32(ad.Index)%resolveWays]
 	if e.ad == ad && e.win != nil {
-		return e.win
+		return e
 	}
 	d, f := s.Table.Resolve(ad)
 	if f != nil || d.SwappedOut {
@@ -186,8 +215,8 @@ func (xc *execCache) operand(s *System, ad obj.AD) []byte {
 	if win == nil {
 		return nil
 	}
-	e.ad, e.win = ad, win
-	return win
+	e.ad, e.win, e.base = ad, win, d.Data.Base
+	return e
 }
 
 // execOneFast is the cached interpreter. It reports handled=false — with
@@ -198,7 +227,7 @@ func (xc *execCache) operand(s *System, ad obj.AD) []byte {
 // outcome, fault or not.
 func (s *System) execOneFast(cpu *CPU) (vtime.Cycles, *obj.Fault, bool) {
 	xc := cpu.xc
-	if xc == nil || s.xcOff || s.spec != nil ||
+	if xc == nil || s.xcOff ||
 		xc.gen != s.Table.CacheGen() || xc.proc != cpu.proc {
 		if xc = s.primeExecCache(cpu); xc == nil {
 			return 0, nil, false
@@ -304,12 +333,12 @@ func (s *System) execOneFast(cpu *CPU) (vtime.Cycles, *obj.Fault, bool) {
 			return 0, nil, false
 		}
 		src := xc.operand(s, ad)
-		if src == nil || uint64(in.C)+4 > uint64(len(src)) {
+		if src == nil || uint64(in.C)+4 > uint64(len(src.win)) {
 			return 0, nil, false
 		}
 		cost = vtime.CostMove
 		setWinIP(win, ip+1)
-		setWinReg(win, in.A, binary.LittleEndian.Uint32(src[in.C:]))
+		setWinReg(win, in.A, binary.LittleEndian.Uint32(src.win[in.C:]))
 
 	case isa.OpStore:
 		if in.A >= isa.NumDataRegs || in.B >= isa.NumAccessRegs {
@@ -320,12 +349,16 @@ func (s *System) execOneFast(cpu *CPU) (vtime.Cycles, *obj.Fault, bool) {
 			return 0, nil, false
 		}
 		dst := xc.operand(s, ad)
-		if dst == nil || uint64(in.C)+4 > uint64(len(dst)) {
+		if dst == nil || uint64(in.C)+4 > uint64(len(dst.win)) {
 			return 0, nil, false
 		}
 		cost = vtime.CostMove
 		setWinIP(win, ip+1)
-		binary.LittleEndian.PutUint32(dst[in.C:], winReg(win, in.A))
+		binary.LittleEndian.PutUint32(dst.win[in.C:], winReg(win, in.A))
+		// On a fork the window aliases the footprint shadow; report the
+		// exact four bytes so the commit copies them and conflict
+		// detection sees the write. No-op outside speculation.
+		s.Table.Memory().MarkForkWrite(dst.base+mem.Addr(in.C), 4)
 
 	default:
 		// Everything else — communication, calls, capability moves,
@@ -367,6 +400,19 @@ func (s *System) AuditExecCaches() []ExecCacheAudit {
 	sameView := func(a, b []byte) bool {
 		return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
 	}
+	// Content comparison, not pointer: a committed epoch may merge the
+	// fork's decode of the same code bytes over the base entry.
+	sameProg := func(a, b []isa.Instr) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
 	for _, cpu := range s.CPUs {
 		xc := cpu.xc
 		if xc == nil || xc.gen != gen || xc.proc != cpu.proc || !xc.proc.Valid() {
@@ -403,6 +449,15 @@ func (s *System) AuditExecCaches() []ExecCacheAudit {
 		}
 		if dom, f := s.Table.LoadAD(xc.ctx, process.CtxSlotDomain); f != nil || dom != xc.dom {
 			bad("cached domain %v is not the context's domain slot", xc.dom)
+		}
+		// The decoded program must match a fresh derivation through the
+		// domain — a cache that survived footprint-scoped invalidation
+		// after a parallel commit must still execute exactly the code a
+		// slow-path re-prime would fetch.
+		if code, f := s.Domains.Code(xc.dom); f != nil || code != xc.code {
+			bad("cached code object %v is not the domain's code slot", xc.code)
+		} else if prog, f := s.Domains.Program(code); f != nil || !sameProg(prog, xc.prog) {
+			bad("cached decoded program diverges from the code object")
 		}
 		for way, e := range xc.res {
 			if e.win == nil {

@@ -280,16 +280,34 @@ func (m *Memory) WriteBytes(e Extent, off uint32, p []byte) error {
 // slices" rule above, and it is safe only because the backing array is
 // allocated once in New and never reallocated: the view stays valid until
 // the extent itself is freed or moved, which the object layer signals
-// through its cache generation. Forks get nil — their reads and writes
-// must go through the footprint-tracking shadow — as do bad extents.
+// through its cache generation. Bad extents get nil.
+//
+// On an epoch fork the view is over the fork's shadow image (also
+// allocated once, in Fork, and address-stable across epochs): the whole
+// extent is touched — copied from the parent and recorded in the read
+// footprint — so reads through the window are indistinguishable from reads
+// through ro. Writes through a fork window MUST be reported with
+// MarkForkWrite, or they are invisible to conflict detection and lost at
+// commit.
 func (m *Memory) Window(e Extent) []byte {
-	if m.fk != nil {
-		return nil
-	}
 	if e.End() < e.Base || e.End() > Addr(len(m.data)) {
 		return nil
 	}
+	if fk := m.fk; fk != nil {
+		fk.touch(e.Base, e.Len, false)
+		return fk.shadow[e.Base:e.End():e.End()]
+	}
 	return m.data[e.Base:e.End():e.End()]
+}
+
+// MarkForkWrite records [b, b+n) in the fork's write footprint, for
+// callers that write through a Window instead of through rw. The span is
+// touched exactly as a rw access would touch it; on a non-fork Memory this
+// is a no-op (window writes to live memory are coherent by aliasing).
+func (m *Memory) MarkForkWrite(b Addr, n uint32) {
+	if m.fk != nil {
+		m.fk.touch(b, n, true)
+	}
 }
 
 // Move relocates the contents of src into a freshly allocated extent and

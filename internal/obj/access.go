@@ -185,6 +185,7 @@ func (t *Table) StoreAD(dst AD, slot uint32, src AD) *Fault {
 		// execution structure the interpreter's execution cache pins (the
 		// current context, the domain slot).
 		t.xgen++
+		t.noteCacheHazard(dst.Index)
 	}
 	t.adStores++
 	if l := t.tr; l != nil {
@@ -243,6 +244,7 @@ func (t *Table) StoreADSystem(dst AD, slot uint32, src AD) *Fault {
 		// (SetAReg), which the cache reads through the checked path — no
 		// bump, or every AD-handling instruction would thrash the cache.
 		t.xgen++
+		t.noteCacheHazard(dst.Index)
 	}
 	t.adStores++
 	if l := t.tr; l != nil {

@@ -29,6 +29,7 @@ type tableFork struct {
 	stamp   []uint32 // epoch when shadow[i] was copied from the parent
 	touched []Index  // slots copied this epoch (the read footprint)
 	writes  []Index  // scratch reused by ForkDescWrites across epochs
+	hazards []Index  // objects that took cache-hazard AD stores this epoch
 	epoch   uint32
 	abort   bool
 }
@@ -67,6 +68,7 @@ func (t *Table) ForkReset() {
 		fk.stamp = append(fk.stamp, make([]uint32, n-len(fk.stamp))...)
 	}
 	fk.touched = fk.touched[:0]
+	fk.hazards = fk.hazards[:0]
 	fk.abort = false
 	t.adStores, t.grayings = 0, 0
 	t.mem.ForkReset()
@@ -109,19 +111,46 @@ func (t *Table) ForkPageFootprint(p uint32) (read, write mem.PageBits) {
 // ForkCommit publishes the epoch into the parent: changed descriptors,
 // written memory pages, and the per-epoch stats deltas. The driver calls
 // this only after establishing that no other fork's footprint overlaps.
-func (t *Table) ForkCommit() {
+//
+// It returns the descriptor indices actually written into the parent.
+// Committed writes bypass the parent's methods, so they never bump the
+// parent's cache generation; the driver is responsible for invalidating
+// exactly the execution caches whose pinned objects appear in the returned
+// set (footprint-scoped invalidation — see internal/gdp/parallel.go and
+// DESIGN.md §8). Memory-byte writes need no invalidation at all: cached
+// windows are live views over the same backing array, so committed bytes
+// are coherent by aliasing. Structural events (destroy, swap, compaction)
+// still bump the generation globally through their own entry points.
+func (t *Table) ForkCommit() []Index {
 	fk := t.fk
+	written := fk.writes[:0]
 	for _, idx := range fk.touched {
 		if fk.shadow[idx] != fk.parent.descs[idx] {
 			fk.parent.descs[idx] = fk.shadow[idx]
+			written = append(written, idx)
 		}
 	}
+	// Cache-hazard AD stores (into process or context objects) may change
+	// only access-part bytes, leaving the descriptor bit-identical — but
+	// they can redirect the very structure an execution cache pins (the
+	// current-context slot, the domain slot). Fold those objects into the
+	// written set so scoped invalidation sees them.
+	written = append(written, fk.hazards...)
+	fk.writes = written
 	fk.parent.adStores += t.adStores
 	fk.parent.grayings += t.grayings
-	// Committed descriptor writes bypass the parent's methods, so the
-	// parent's execution caches cannot have seen them; invalidate.
-	fk.parent.xgen++
 	t.mem.ForkCommit()
+	return written
+}
+
+// noteCacheHazard records, during speculation, an object whose access slots
+// took an AD store that bumps the cache generation (StoreAD into a process
+// or context). ForkCommit reports these alongside the descriptor diffs.
+// No-op on a non-fork table — there the generation bump itself suffices.
+func (t *Table) noteCacheHazard(idx Index) {
+	if t.fk != nil {
+		t.fk.hazards = append(t.fk.hazards, idx)
+	}
 }
 
 // slot returns the descriptor at idx, routed through the epoch shadow for

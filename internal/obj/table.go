@@ -159,7 +159,19 @@ func (t *Table) Tracer() *trace.Log { return t.tr }
 // CacheGen reports the table's cache-invalidation generation. Holders of
 // derived state (resolved descriptor windows, decoded operand caches) must
 // snapshot it when priming and treat any later mismatch as invalidation.
-func (t *Table) CacheGen() uint64 { return t.xgen }
+//
+// An epoch fork reports the sum of its parent's generation and its own:
+// fork-local aliasing operations (an AD store into a process or context
+// during speculation) bump the fork's generation, and structural events on
+// the parent between epochs bump the parent's; either advances the sum, so
+// a fork-primed cache goes stale on both kinds of hazard. The parent is
+// quiescent while forks execute, so the cross-read is race-free.
+func (t *Table) CacheGen() uint64 {
+	if t.fk != nil {
+		return t.fk.parent.xgen + t.xgen
+	}
+	return t.xgen
+}
 
 // InvalidateCaches bumps the cache-invalidation generation. Table-internal
 // aliasing operations bump it themselves; external trusted mutators that

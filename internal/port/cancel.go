@@ -9,9 +9,9 @@ import (
 // service is built on. A process parked at a port (as sender or receiver)
 // can be unlinked before its operation completes — the interval timer
 // fires, the process manager wants to destroy the process, or a level-2
-// timeout fault must be raised (§7.3). The carrier is removed and
-// reclaimed; a cancelled sender's message is returned so the caller can
-// decide its fate.
+// timeout fault must be raised (§7.3). The carrier is removed and returned
+// to the port's free pool; a cancelled sender's message is returned so the
+// caller can decide its fate.
 
 // CancelWaiter removes proc from the port's wait queues. It reports
 // whether the process was found, and, for a cancelled sender, the message
@@ -76,7 +76,7 @@ func (m *Manager) unlink(p obj.AD, headSlot, tailSlot uint32, proc obj.AD) (bool
 					return false, obj.NilAD, f
 				}
 			}
-			if f := m.SRO.Reclaim(cur.Index); f != nil {
+			if f := m.pool(p, cur); f != nil {
 				return false, obj.NilAD, f
 			}
 			return true, msg, nil

@@ -178,7 +178,7 @@ func TestCancelFaultReturnsImmediately(t *testing.T) {
 	}
 }
 
-func TestCancelReclaimsCarrier(t *testing.T) {
+func TestCancelPoolsCarrier(t *testing.T) {
 	fx := setup(t)
 	p := fx.newPort(t, 1, FIFO)
 	fx.m.Send(p, fx.newMsg(t), 0, obj.NilAD)
@@ -190,7 +190,22 @@ func TestCancelReclaimsCarrier(t *testing.T) {
 		t.Fatalf("carrier not created: %d vs %d", fx.tab.Live(), before+1)
 	}
 	fx.m.CancelWaiter(p, proc)
-	if fx.tab.Live() != before {
-		t.Fatal("carrier leaked by cancel")
+	if fx.tab.Live() != before+1 {
+		t.Fatal("cancelled carrier destroyed; want it scrubbed and pooled")
+	}
+	st, f := fx.m.Inspect(p)
+	if f != nil || len(st.Free) != 1 {
+		t.Fatalf("free pool after cancel: %v, %d carriers, want 1", f, len(st.Free))
+	}
+	if len(st.Senders) != 0 {
+		t.Fatalf("cancelled waiter still parked: %d senders", len(st.Senders))
+	}
+	// The pooled carrier must not pin the cancelled sender's message.
+	car := fx.tab.DescriptorAt(st.Free[0])
+	if car == nil || car.Type != obj.TypeCarrier {
+		t.Fatalf("free-pool entry is not a live carrier: %+v", car)
+	}
+	if held, f := fx.tab.LoadAD(obj.AD{Index: st.Free[0], Gen: car.Gen, Rights: obj.RightsAll}, CarSlotMessage); f != nil || held.Valid() {
+		t.Fatalf("pooled carrier still holds a message: %v %v", held, f)
 	}
 }

@@ -7,6 +7,13 @@ import "repro/internal/obj"
 // below the capability discipline, the way the collector reads the object
 // graph: they observe, never mutate.
 
+// Carrier access-slot layout, exported for the auditor's free-pool scrub
+// check (the wait queues are audited through Waiter instead).
+const (
+	CarSlotProcess = carSlotProcess
+	CarSlotMessage = carSlotMessage
+)
+
 // Waiter describes one carrier on a port wait queue.
 type Waiter struct {
 	Carrier obj.Index
@@ -31,6 +38,9 @@ type State struct {
 	Slots      []SlotState
 	Senders    []Waiter
 	Receivers  []Waiter
+	// Free lists the carriers parked on the port's free pool: scrubbed,
+	// holding neither process nor message, awaiting reuse by park.
+	Free []obj.Index
 	// SendTail/RecvTail are the tail-slot contents (NilIndex for an
 	// empty queue); the auditor checks them against the walked lists.
 	SendTail obj.Index
@@ -92,6 +102,9 @@ func (m *Manager) Inspect(p obj.AD) (*State, *obj.Fault) {
 	if st.Receivers, f = m.walkWaiters(p, slotRecvHead); f != nil {
 		return nil, f
 	}
+	if st.Free, f = m.walkFree(p); f != nil {
+		return nil, f
+	}
 	if tail, f := m.Table.LoadAD(p, slotSendTail); f != nil {
 		return nil, f
 	} else {
@@ -110,6 +123,26 @@ func tailIndex(ad obj.AD) obj.Index {
 		return obj.NilIndex
 	}
 	return ad.Index
+}
+
+// walkFree reads the free-pool chain, cycle-bounded like the wait queues.
+func (m *Manager) walkFree(p obj.AD) ([]obj.Index, *obj.Fault) {
+	var out []obj.Index
+	cur, f := m.Table.LoadAD(p, slotFree)
+	if f != nil {
+		return nil, f
+	}
+	limit := m.Table.Len()
+	for cur.Valid() {
+		if len(out) >= limit {
+			return nil, obj.Faultf(obj.FaultOddity, p, "free pool longer than the object table: cycle")
+		}
+		out = append(out, cur.Index)
+		if cur, f = m.Table.LoadAD(cur, carSlotNext); f != nil {
+			return nil, f
+		}
+	}
+	return out, nil
 }
 
 func (m *Manager) walkWaiters(p obj.AD, headSlot uint32) ([]Waiter, *obj.Fault) {

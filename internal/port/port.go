@@ -9,7 +9,10 @@
 // objects — real 432 machinery — so the whole structure is visible to the
 // garbage collector: a blocked process is reachable from the port it waits
 // on, and a queued message is reachable from its port, exactly the lifetime
-// story told at the end of §5.
+// story told at the end of §5. Carriers removed from a wait queue are
+// scrubbed and parked on a per-port free pool rather than destroyed, so a
+// port's steady-state blocking traffic allocates nothing (and, in the
+// parallel host backend, speculates cleanly — see park).
 //
 // Three queueing disciplines are provided (Figure 1 shows the discipline
 // parameter of Create_port): FIFO, priority (highest key first) and
@@ -80,7 +83,8 @@ const (
 	slotSendTail = 1
 	slotRecvHead = 2 // carrier list of blocked receivers
 	slotRecvTail = 3
-	slotMsg0     = 4 // message slots follow
+	slotFree     = 4 // carrier free pool (reuse instead of create/destroy)
+	slotMsg0     = 5 // message slots follow
 )
 
 // Carrier layout. A carrier is the surrogate that queues a blocked process
@@ -338,18 +342,24 @@ func (m *Manager) deposit(p obj.AD, capacity uint16, msg obj.AD, key uint32) *ob
 }
 
 // takeBest removes and returns the message the discipline orders first.
+// The scan walks slots from 0 but stops once it has examined every
+// occupied slot (the stored count), so a sparsely filled high-capacity
+// port pays for its messages, not its capacity. Selection among the
+// occupied slots is unchanged, so the result — and every byte written —
+// is identical under all three disciplines.
 func (m *Manager) takeBest(p obj.AD) (obj.AD, *obj.Fault) {
 	disc, f := m.Table.ReadWord(p, offDiscipline)
 	if f != nil {
 		return obj.NilAD, f
 	}
-	capacity, _, f := m.counts(p)
+	capacity, count, f := m.counts(p)
 	if f != nil {
 		return obj.NilAD, f
 	}
 	best := -1
 	var bestKey, bestSeq uint32
-	for i := uint32(0); i < uint32(capacity); i++ {
+	seen := uint16(0)
+	for i := uint32(0); i < uint32(capacity) && seen < count; i++ {
 		rec := offSlots + i*slotRecSize
 		occ, f := m.Table.ReadWord(p, rec+recOccupied)
 		if f != nil {
@@ -358,6 +368,7 @@ func (m *Manager) takeBest(p obj.AD) (obj.AD, *obj.Fault) {
 		if occ == 0 {
 			continue
 		}
+		seen++
 		key, f := m.Table.ReadDWord(p, rec+recKey)
 		if f != nil {
 			return obj.NilAD, f
@@ -393,11 +404,11 @@ func (m *Manager) takeBest(p obj.AD) (obj.AD, *obj.Fault) {
 	if f := m.Table.StoreAD(p, slotMsg0+uint32(best), obj.NilAD); f != nil {
 		return obj.NilAD, f
 	}
-	count, f := m.Table.ReadWord(p, offCount)
+	cnt, f := m.Table.ReadWord(p, offCount)
 	if f != nil {
 		return obj.NilAD, f
 	}
-	return msg, m.Table.WriteWord(p, offCount, count-1)
+	return msg, m.Table.WriteWord(p, offCount, cnt-1)
 }
 
 // parked describes a carrier removed from a wait queue.
@@ -409,18 +420,16 @@ type parked struct {
 
 // park appends a carrier holding proc (and, for senders, msg/key) to the
 // wait queue named by the head/tail slots. Carriers come from the port's
-// own SRO so the whole structure shares the port's lifetime.
+// free pool when one is available, else from the port's own SRO — either
+// way the whole structure shares the port's lifetime.
+//
+// The pool matters to the parallel host backend: creating or destroying an
+// object is a structural operation an epoch fork cannot speculate (slot and
+// extent allocation order), so create-per-park made every blocking
+// send/receive abort its epoch. Popping and pushing a pooled carrier is
+// pure AD-slot traffic, which speculates fine.
 func (m *Manager) park(p obj.AD, headSlot, tailSlot uint32, proc, msg obj.AD, key uint32) *obj.Fault {
-	pd := m.Table.DescriptorAt(p.Index)
-	sroAD, f := m.sroCapOf(pd.SRO, p)
-	if f != nil {
-		return f
-	}
-	car, f := m.SRO.Create(sroAD, obj.CreateSpec{
-		Type:        obj.TypeCarrier,
-		DataLen:     carData,
-		AccessSlots: carSlots,
-	})
+	car, f := m.carrier(p)
 	if f != nil {
 		return f
 	}
@@ -462,7 +471,66 @@ func (m *Manager) park(p obj.AD, headSlot, tailSlot uint32, proc, msg obj.AD, ke
 	return nil
 }
 
-// unpark removes the head carrier of a wait queue, destroying the carrier
+// carrier produces a carrier for park: the head of the port's free pool if
+// one is there, else a fresh allocation from the port's SRO.
+func (m *Manager) carrier(p obj.AD) (obj.AD, *obj.Fault) {
+	car, f := m.Table.LoadAD(p, slotFree)
+	if f != nil {
+		return obj.NilAD, f
+	}
+	if car.Valid() {
+		next, f := m.Table.LoadAD(car, carSlotNext)
+		if f != nil {
+			return obj.NilAD, f
+		}
+		if f := m.Table.StoreADSystem(p, slotFree, next); f != nil {
+			return obj.NilAD, f
+		}
+		if f := m.Table.StoreADSystem(car, carSlotNext, obj.NilAD); f != nil {
+			return obj.NilAD, f
+		}
+		return car, nil
+	}
+	pd := m.Table.DescriptorAt(p.Index)
+	sroAD, f := m.sroCapOf(pd.SRO, p)
+	if f != nil {
+		return obj.NilAD, f
+	}
+	return m.SRO.Create(sroAD, obj.CreateSpec{
+		Type:        obj.TypeCarrier,
+		DataLen:     carData,
+		AccessSlots: carSlots,
+	})
+}
+
+// pool scrubs a carrier just removed from a wait queue — the process slot
+// always, the message slot when it carried one, so the pool never extends
+// a process's or message's lifetime — and pushes it onto the port's free
+// pool for the next park.
+func (m *Manager) pool(p, car obj.AD) *obj.Fault {
+	if f := m.Table.StoreADSystem(car, carSlotProcess, obj.NilAD); f != nil {
+		return f
+	}
+	msg, f := m.Table.LoadAD(car, carSlotMessage)
+	if f != nil {
+		return f
+	}
+	if msg.Valid() {
+		if f := m.Table.StoreADSystem(car, carSlotMessage, obj.NilAD); f != nil {
+			return f
+		}
+	}
+	free, f := m.Table.LoadAD(p, slotFree)
+	if f != nil {
+		return f
+	}
+	if f := m.Table.StoreADSystem(car, carSlotNext, free); f != nil {
+		return f
+	}
+	return m.Table.StoreADSystem(p, slotFree, car)
+}
+
+// unpark removes the head carrier of a wait queue, pooling the carrier
 // and returning its contents; nil if the queue is empty.
 func (m *Manager) unpark(p obj.AD, headSlot, tailSlot uint32) (*parked, *obj.Fault) {
 	head, f := m.Table.LoadAD(p, headSlot)
@@ -496,7 +564,7 @@ func (m *Manager) unpark(p obj.AD, headSlot, tailSlot uint32) (*parked, *obj.Fau
 			return nil, f
 		}
 	}
-	if f := m.SRO.Reclaim(head.Index); f != nil {
+	if f := m.pool(p, head); f != nil {
 		return nil, f
 	}
 	if l := m.Table.Tracer(); l != nil {

@@ -313,8 +313,10 @@ func TestOpsOnNonPort(t *testing.T) {
 	}
 }
 
-func TestCarriersReclaimed(t *testing.T) {
-	// Parking and unparking must not leak carrier objects.
+func TestCarriersPooled(t *testing.T) {
+	// Parking and unparking must not grow the object population without
+	// bound: an unparked carrier is scrubbed and pooled on its port, and
+	// the next park reuses it instead of allocating.
 	fx := setup(t)
 	p := fx.newPort(t, 1, FIFO)
 	fx.m.Send(p, fx.newMsg(t), 0, obj.NilAD)
@@ -325,9 +327,22 @@ func TestCarriersReclaimed(t *testing.T) {
 	if fx.tab.Live() != base+3 { // proc + msg + carrier
 		t.Fatalf("Live = %d, want %d", fx.tab.Live(), base+3)
 	}
-	fx.m.Receive(p, obj.NilAD) // unparks and destroys the carrier
-	if fx.tab.Live() != base+2 {
-		t.Fatalf("carrier leaked: Live = %d, want %d", fx.tab.Live(), base+2)
+	fx.m.Receive(p, obj.NilAD) // unparks: carrier moves to the free pool
+	if fx.tab.Live() != base+3 {
+		t.Fatalf("after unpark: Live = %d, want %d (carrier pooled, not destroyed)", fx.tab.Live(), base+3)
+	}
+	st, f := fx.m.Inspect(p)
+	if f != nil || len(st.Free) != 1 {
+		t.Fatalf("free pool: %v, %d carriers, want 1", f, len(st.Free))
+	}
+	// Steady-state blocking traffic allocates nothing: repeated park/unpark
+	// cycles reuse the pooled carrier.
+	for i := 0; i < 5; i++ {
+		fx.m.Send(p, fx.newMsg(t), 0, proc) // port full again: parks
+		fx.m.Receive(p, obj.NilAD)          // unparks into the pool
+	}
+	if got := fx.tab.Live(); got != base+3+5 { // only the 5 fresh messages
+		t.Fatalf("pooled carrier not reused: Live = %d, want %d", got, base+3+5)
 	}
 }
 
