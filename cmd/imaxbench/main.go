@@ -12,6 +12,8 @@
 //	imaxbench -bench-pr2 OUT.json  host-parallel backend smoke benchmark
 //	imaxbench -bench-pr3 OUT.json  execution-cache benchmark (backend × cache)
 //	imaxbench -bench-pr5 OUT.json  scoped-invalidation + affinity benchmark
+//	imaxbench -bench-scale OUT.json [-scale-sessions N] [-scale-det]
+//	                               open-loop scale scenarios (SLO percentiles)
 //	imaxbench -cpuprofile CPU.pprof -memprofile MEM.pprof ...
 package main
 
@@ -38,6 +40,9 @@ func run() int {
 	benchPR2 := flag.String("bench-pr2", "", "run the host-parallel smoke benchmark and write the JSON report here")
 	benchPR3 := flag.String("bench-pr3", "", "run the execution-cache benchmark and write the JSON report here")
 	benchPR5 := flag.String("bench-pr5", "", "run the scoped-invalidation/affinity benchmark and write the JSON report here")
+	benchScale := flag.String("bench-scale", "", "run the open-loop scale scenarios and write the JSON report here")
+	scaleSessions := flag.Int("scale-sessions", 100_000, "headline session population for -bench-scale")
+	scaleDet := flag.Bool("scale-det", false, "zero host wall-clock fields in -bench-scale for byte-comparable artifacts")
 	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile here")
 	memprofile := flag.String("memprofile", "", "write a host heap profile here on exit")
 	flag.Parse()
@@ -157,6 +162,39 @@ func run() int {
 			}
 		}
 		fmt.Println("report:", *benchPR5)
+		return 0
+	}
+
+	if *benchScale != "" {
+		rep, err := experiments.BenchScale(*benchScale, *scaleSessions, *scaleDet)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "imaxbench:", err)
+			return 1
+		}
+		fmt.Printf("bench-scale: host %d cpus, GOMAXPROCS %d, degenerate=%v (%s)\n",
+			rep.HostCPUs, rep.GOMAXPROCS, rep.Degenerate, rep.GoVersion)
+		fmt.Printf("  headline %d sessions, seed %d, deterministic=%v\n",
+			rep.Sessions, rep.Seed, rep.Deterministic)
+		fmt.Printf("  fingerprint %s\n", rep.HeadlineFingerprint)
+		for _, r := range rep.Runs {
+			s := r.Scenario
+			fmt.Printf("  %-12s %7d sessions: issued %d, completed %d, censored %d\n",
+				s.Name, s.Sessions, s.Issued, s.Completed, s.Censored)
+			fmt.Printf("    virtual: p50 %8.1fµs, p99 %8.1fµs, p999 %8.1fµs (%.0f req/s over %.1f vms)\n",
+				s.Overall.P50Us, s.Overall.P99Us, s.Overall.P999Us, s.VirtualRPS, s.VirtualMs)
+			if r.HostNs > 0 {
+				fmt.Printf("    host:    %8.2fms, %.0f req/s\n",
+					float64(r.HostNs)/1e6, r.HostRPS)
+			}
+			if s.Swapping {
+				fmt.Printf("    mm:      %d swap-outs, %d swap-ins, %d evictions, %d faults serviced, %d compactions\n",
+					s.SwapOuts, s.SwapIns, s.Evictions, s.FaultsServiced, s.Compactions)
+			}
+			if s.InjectPlanned > 0 {
+				fmt.Printf("    inject:  %d/%d fired\n", s.InjectFired, s.InjectPlanned)
+			}
+		}
+		fmt.Println("report:", *benchScale)
 		return 0
 	}
 

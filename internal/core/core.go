@@ -79,6 +79,14 @@ type Config struct {
 	// TraceCapacity bounds the event ring; 0 means trace.DefaultCapacity.
 	TraceCapacity int
 
+	// DeadlineDispatch selects the driver's deadline-ordered (aging)
+	// dispatching discipline instead of strict priority order — the
+	// dispatching half of the pm "deadline" policy selection.
+	DeadlineDispatch bool
+	// DeadlineBase is the deadline period scaled by priority; 0 takes
+	// the driver default.
+	DeadlineBase vtime.Cycles
+
 	// HostParallel opts into the driver's parallel host backend: each
 	// simulated processor's quantum runs on its own host goroutine, with
 	// results byte-identical to the serial backend (see internal/gdp).
@@ -130,10 +138,12 @@ type IMAX struct {
 // Boot assembles a system from the configuration.
 func Boot(cfg Config) (*IMAX, error) {
 	sys, err := gdp.New(gdp.Config{
-		Processors:   cfg.Processors,
-		MemoryBytes:  cfg.MemoryBytes,
-		HostParallel: cfg.HostParallel,
-		NoExecCache:  cfg.NoExecCache,
+		Processors:       cfg.Processors,
+		MemoryBytes:      cfg.MemoryBytes,
+		DeadlineDispatch: cfg.DeadlineDispatch,
+		DeadlineBase:     cfg.DeadlineBase,
+		HostParallel:     cfg.HostParallel,
+		NoExecCache:      cfg.NoExecCache,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,174 @@
+package experiments
+
+// BenchScale is the open-loop scale benchmark behind `imaxbench
+// -bench-scale`: the scenario engine (internal/scenario) drives large
+// simulated user populations through the booted system and reports
+// SLO-grade latency percentiles measured in virtual cycles, plus host
+// throughput for the run.
+//
+// The report separates the two kinds of number it contains:
+//
+//   - every field inside "scenario" is deterministic — a pure function
+//     of the scenario config and seed, byte-identical across runs and
+//     hosts (the headline scenario is run twice and the fingerprints
+//     compared; a mismatch is a hard error, not a footnote);
+//   - host_ns / host_rps describe this host on this day, and host_cpus,
+//     gomaxprocs and degenerate lead the report so a single-core reading
+//     is never mistaken for an engine property.
+//
+// The -scale-det flag zeroes the host wall-clock fields so two
+// invocations of the binary produce byte-identical artifacts (CI
+// compares them with cmp).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// BenchScaleRun is one scenario execution: the deterministic result and
+// the host-side wall clock around it.
+type BenchScaleRun struct {
+	Scenario *scenario.Result `json:"scenario"`
+	// HostNs is the wall-clock time of Run (build excluded); HostRPS is
+	// completed requests per host second. Zero under -scale-det.
+	HostNs  int64   `json:"host_ns"`
+	HostRPS float64 `json:"host_rps"`
+}
+
+// BenchScaleReport is the JSON artifact written by imaxbench
+// -bench-scale (BENCH_scale.json).
+type BenchScaleReport struct {
+	HostCPUs   int    `json:"host_cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Degenerate bool   `json:"degenerate"`
+	GoVersion  string `json:"go_version"`
+
+	// Sessions is the headline population; the satellite scenarios run
+	// scaled-down fractions of it.
+	Sessions int   `json:"sessions"`
+	Seed     int64 `json:"seed"`
+
+	// Deterministic reports the double-run self-check of the headline
+	// scenario: same seed, same config, byte-identical canonical JSON.
+	Deterministic       bool   `json:"deterministic"`
+	HeadlineFingerprint string `json:"headline_fingerprint"`
+
+	Runs []BenchScaleRun `json:"runs"`
+}
+
+// benchScaleSeed pins the artifact's seed: the bench is a regression
+// surface, not a sampling experiment.
+const benchScaleSeed = 42
+
+// benchScaleOne builds and runs one preset population, timing Run only —
+// build cost is allocation, not service.
+func benchScaleOne(name string, sessions int, det bool, mutate func(*scenario.Config)) (*BenchScaleRun, error) {
+	cfg, err := scenario.Preset(name, sessions, benchScaleSeed)
+	if err != nil {
+		return nil, err
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	eng, err := scenario.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	run := &BenchScaleRun{Scenario: res}
+	if !det {
+		run.HostNs = elapsed.Nanoseconds()
+		if s := elapsed.Seconds(); s > 0 {
+			run.HostRPS = float64(res.Completed) / s
+		}
+	}
+	return run, nil
+}
+
+// BenchScale runs the scale scenarios and writes the JSON report to
+// path. sessions is the headline population (the issue's acceptance run
+// uses 1e5; CI smoke uses 1e3); det zeroes host wall-clock fields for
+// byte-comparable artifacts.
+func BenchScale(path string, sessions int, det bool) (*BenchScaleReport, error) {
+	if sessions <= 0 {
+		sessions = 100_000
+	}
+	rep := &BenchScaleReport{
+		HostCPUs:   runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Degenerate: runtime.GOMAXPROCS(0) == 1,
+		GoVersion:  runtime.Version(),
+		Sessions:   sessions,
+		Seed:       benchScaleSeed,
+	}
+
+	frac := func(n, div, floor int) int {
+		if n/div < floor {
+			return floor
+		}
+		return n / div
+	}
+	type spec struct {
+		preset   string
+		sessions int
+		mutate   func(*scenario.Config)
+	}
+	specs := []spec{
+		// Headline: the full open-loop population, partly-open mode.
+		{"baseline", sessions, nil},
+		// Bursty arrivals at the same scale exercise queueing tails.
+		{"bursty", sessions, nil},
+		// Memory pressure runs a tenth of the population with fat
+		// sessions; the floor keeps the population bigger than physical
+		// memory even in CI smoke runs, so the swap path is always
+		// load-bearing. The long drain budget lets the swap-thrashed
+		// tail complete instead of being censored.
+		{"mempressure", frac(sessions, 10, 2_000), func(c *scenario.Config) {
+			c.DrainBudget = 200_000_000
+		}},
+		// Chaos replays the default injection plan as a scenario axis on
+		// a hundredth of the population.
+		{"chaos", frac(sessions, 100, 100), nil},
+	}
+	for _, s := range specs {
+		run, err := benchScaleOne(s.preset, s.sessions, det, s.mutate)
+		if err != nil {
+			return nil, fmt.Errorf("bench-scale %s: %w", s.preset, err)
+		}
+		rep.Runs = append(rep.Runs, *run)
+	}
+
+	// Determinism self-check: re-run the headline scenario and compare
+	// fingerprints. The Result carries no host quantity, so any
+	// divergence is an engine bug and poisons the whole artifact.
+	again, err := benchScaleOne("baseline", sessions, true, nil)
+	if err != nil {
+		return nil, fmt.Errorf("bench-scale determinism re-run: %w", err)
+	}
+	rep.HeadlineFingerprint = rep.Runs[0].Scenario.Fingerprint()
+	rep.Deterministic = again.Scenario.Fingerprint() == rep.HeadlineFingerprint
+	if !rep.Deterministic {
+		return nil, fmt.Errorf("bench-scale: headline scenario NOT deterministic: %s vs %s",
+			rep.HeadlineFingerprint, again.Scenario.Fingerprint())
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

@@ -84,6 +84,17 @@ func (in *Injector) NextAt() uint64 {
 // Fired returns the log of executed events so far.
 func (in *Injector) Fired() []Fired { return in.fired }
 
+// FiredByKind returns the count of executed events per kind, indexed by
+// Kind in declaration order — a fixed-shape, deterministic summary for
+// reports (unlike a map, its serialisation order never varies).
+func (in *Injector) FiredByKind() []uint64 {
+	out := make([]uint64, numKinds)
+	for _, r := range in.fired {
+		out[r.Kind]++
+	}
+	return out
+}
+
 // Exhausted reports whether every planned event has fired. Plans are laid
 // over an instruction horizon the workload is expected to pass; a workload
 // that terminates earlier leaves events unfired, which the harness treats

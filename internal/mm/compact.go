@@ -64,6 +64,9 @@ func (m *Swapping) Compact() (moved int, spent vtime.Cycles, fault *obj.Fault) {
 		// segment now points at freed bytes.
 		m.Table.InvalidateCaches()
 	}
+	m.Compactions++
+	m.CompactMoves += uint64(moved)
+	m.CompactCycles += spent
 	return moved, spent, nil
 }
 

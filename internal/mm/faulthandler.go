@@ -57,6 +57,7 @@ func FaultHandlerBody(m *Swapping, faultPort, overflowPort obj.AD) gdp.NativeBod
 			return spent, gdp.BodyYield, nil
 		}
 		spent += m.SwapCycles - before
+		m.FaultsServiced++
 		if f := sys.Procs.SetState(victim, process.StateReady); f != nil {
 			return spent, gdp.BodyYield, f
 		}

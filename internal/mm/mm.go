@@ -136,6 +136,18 @@ type Swapping struct {
 	SwapOuts   uint64
 	SwapIns    uint64
 	SwapCycles vtime.Cycles
+	// Evictions counts pressure-driven victim selections (EvictVictim
+	// calls that found a victim), whether triggered by a failed
+	// allocation or forced externally.
+	Evictions uint64
+	// FaultsServiced counts segment faults restored to residency by the
+	// fault-handler service (FaultHandlerBody).
+	FaultsServiced uint64
+	// Compactions and CompactMoves count Compact passes and the segment
+	// parts they relocated; CompactCycles is their charged virtual time.
+	Compactions   uint64
+	CompactMoves  uint64
+	CompactCycles vtime.Cycles
 }
 
 // NewSwapping returns the swapping implementation.
@@ -257,6 +269,7 @@ func (m *Swapping) EvictVictim() (victim obj.Index, ok bool, f *obj.Fault) {
 		}
 		if m.swappable(hand) {
 			m.clockHand = hand
+			m.Evictions++
 			return hand, true, m.swapOut(hand)
 		}
 	}

@@ -1,0 +1,85 @@
+package pm
+
+import (
+	"fmt"
+
+	"repro/internal/gdp"
+	"repro/internal/obj"
+	"repro/internal/vtime"
+)
+
+// Selection is a shipped resource-control policy instantiated by name —
+// the §6.1 "configured by selecting packages" surface the scenario engine
+// and the policy tests drive. Three policies ship:
+//
+//   - "null": the null policy; hardware dispatching parameters pass
+//     straight through, so strict priority order rules and starvation of
+//     low-priority work is possible by design.
+//   - "deadline": the null policy paired with the driver's deadline-
+//     ordered dispatching (gdp.Config.DeadlineDispatch), the real 432's
+//     aging discipline — high priority still means quicker service, but a
+//     starved process's deadline eventually comes due.
+//   - "fair": the fair scheduler package; a native rebalancer daemon
+//     periodically redistributes priorities against consumed cycles, so
+//     no client monopolises the machine whatever parameters it asked for.
+type Selection struct {
+	Policy string
+	Basic  *Basic
+	// Fair is non-nil when the fair scheduler package was selected.
+	Fair *FairScheduler
+	// Daemon is the native rebalancer process after Launch, for
+	// policies that need one (NilAD otherwise).
+	Daemon obj.AD
+}
+
+// PolicyNames lists the shipped policy names, in a fixed order tests can
+// range over.
+func PolicyNames() []string { return []string{"null", "deadline", "fair"} }
+
+// PolicyNeedsDeadlineDispatch reports whether the named policy requires
+// the driver's deadline dispatching discipline to be configured at boot
+// (it is a gdp.Config switch, not a runtime one).
+func PolicyNeedsDeadlineDispatch(name string) bool { return name == "deadline" }
+
+// Select instantiates the named policy over the basic manager. quantum is
+// the imposed time slice for policies that impose one (the fair
+// scheduler); pass-through policies ignore it.
+func Select(name string, b *Basic, quantum uint32) (*Selection, error) {
+	s := &Selection{Policy: name, Basic: b}
+	switch name {
+	case "null", "deadline":
+	case "fair":
+		s.Fair = NewFairScheduler(b, quantum)
+	default:
+		return nil, fmt.Errorf("pm: unknown policy %q (have %v)", name, PolicyNames())
+	}
+	return s, nil
+}
+
+// Adopt registers a client process with the policy. Pass-through policies
+// leave the client's own hardware parameters in force; the fair scheduler
+// takes them over.
+func (s *Selection) Adopt(p obj.AD) *obj.Fault {
+	if s.Fair != nil {
+		return s.Fair.Adopt(p)
+	}
+	return nil
+}
+
+// Launch spawns whatever native machinery the policy needs — the fair
+// rebalancer at the given period and priority — and is a no-op for
+// parameter-pass-through policies. Call it once, after adopting the
+// initial clients (later adoptions are picked up on the next rebalance).
+func (s *Selection) Launch(period vtime.Cycles, prio uint16) *obj.Fault {
+	if s.Fair == nil {
+		return nil
+	}
+	d, f := s.Basic.CreateNativeProcess(s.Fair.Body(period), obj.NilAD, gdp.SpawnSpec{
+		Priority: prio,
+	})
+	if f != nil {
+		return f
+	}
+	s.Daemon = d
+	return nil
+}

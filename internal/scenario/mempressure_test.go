@@ -1,0 +1,89 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+)
+
+// TestScenarioMemoryPressure is the mm soak: sessions big enough that the
+// population cannot fit in physical memory, so building and serving them
+// forces evictions, organic segment faults serviced by the §7.3 fault
+// handler, swap-ins on the request path, and periodic compaction — all
+// while the invariant auditor watches. These paths were previously
+// exercised only by microtests; this is the first at-scale soak.
+func TestScenarioMemoryPressure(t *testing.T) {
+	// The population must exceed physical memory (2000 sessions × 2 KiB
+	// against the preset's 2 MiB) or the swap path sits idle, so this
+	// soak does not shrink under -short. It runs in well under a second.
+	const n = 2_000
+	eng, res := runPreset(t, "mempressure", n, 99, func(c *Config) {
+		// Swap-thrashed batch requests have a long tail; give the drain
+		// phase room so censoring measures faults, not patience.
+		c.DrainBudget = 200_000_000
+	})
+
+	// The full request population must be served: memory pressure slows
+	// requests down but must not lose them.
+	want := uint64(n * res.RequestsPerSession)
+	if res.Issued != want {
+		t.Fatalf("issued %d, want %d", res.Issued, want)
+	}
+	if res.Completed != want {
+		t.Fatalf("completed %d of %d (censored %d): swapping lost requests",
+			res.Completed, want, res.Censored)
+	}
+
+	// The memory manager must have been load-bearing, not idle.
+	if res.SwapOuts == 0 || res.Evictions == 0 {
+		t.Fatalf("no eviction activity: swap_outs=%d evictions=%d", res.SwapOuts, res.Evictions)
+	}
+	if res.SwapIns == 0 {
+		t.Fatalf("no swap-ins: the request path never touched a swapped object")
+	}
+	if res.FaultsServiced == 0 {
+		t.Fatalf("fault handler serviced no segment faults")
+	}
+	if res.Compactions == 0 {
+		t.Fatalf("compaction never ran (CompactEvery=%d, virtual run %d cycles)",
+			eng.Cfg.CompactEvery, res.VirtualCycles)
+	}
+
+	// Swapping must remain invisible to correctness: every session's
+	// touched dwords carry exactly its completed request count.
+	assertSessionWitness(t, eng)
+
+	// Invariant audit and level discipline over the final world.
+	audit.Check(t, eng.IM.System)
+	if vs := eng.IM.CheckLevels(); len(vs) > 0 {
+		t.Fatalf("level discipline violated: %v", vs[0])
+	}
+}
+
+// assertSessionWitness verifies the byte-level service witness: dword d of
+// a session object equals the session's completed count for every touched
+// dword of its class program.
+func assertSessionWitness(t *testing.T, eng *Engine) {
+	t.Helper()
+	for i := range eng.Sessions {
+		s := &eng.Sessions[i]
+		if eng.IM.Swapper != nil {
+			// The post-run read is host-side: restore residency first
+			// (a VM process would fault to the handler instead).
+			if f := eng.IM.Swapper.EnsureResident(s.Obj.Index); f != nil {
+				t.Fatalf("session %d unrestorable: %v", i, f)
+			}
+		}
+		touches := eng.Classes[s.Class].Spec.Touches
+		for d := uint32(0); d < touches; d++ {
+			v, f := eng.IM.Table.ReadDWord(s.Obj, d*4)
+			if f != nil {
+				t.Fatalf("session %d dword %d unreadable: %v", i, d, f)
+			}
+			if v != uint32(s.Completed) {
+				t.Fatalf("session %d dword %d = %d, want %d completed requests",
+					i, d, v, s.Completed)
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/pm"
+)
+
+// overload configures a mix where CPU demand exceeds supply (two
+// processors, dense arrivals), so the shipped policies become
+// distinguishable: under light load strict priority, deadline aging and
+// fair sharing all converge to the same schedule.
+func overload(pol string) func(*Config) {
+	return func(c *Config) {
+		c.Policy = pol
+		c.Processors = 2
+		c.MeanGap = 120
+	}
+}
+
+// TestScenarioPolicies drives every shipped pm policy through the same
+// open-loop latency-sensitive + batch mix and asserts the behavioral
+// contract of each:
+//
+//   - no policy starves a session — every request of every session
+//     completes within the drain budget;
+//   - every policy keeps the short, high-priority interactive class
+//     ahead of batch at p99;
+//   - strict priority ("null") gives interactive its best p99, deadline
+//     aging trades some of that for batch progress (batch mean no worse
+//     than under null), and fair sharing departs from strict priority
+//     altogether.
+//
+// The runs are deterministic, so the cross-policy comparisons are exact
+// regression pins, not statistical claims.
+func TestScenarioPolicies(t *testing.T) {
+	n := testSessions(t) / 5
+	results := make(map[string]*Result)
+
+	for _, pol := range pm.PolicyNames() {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			eng, res := runPreset(t, "baseline", n, 5, overload(pol))
+
+			want := uint64(n * res.RequestsPerSession)
+			if res.Completed != want || res.Censored != 0 {
+				t.Fatalf("policy %s: completed %d censored %d, want %d completed",
+					pol, res.Completed, res.Censored, want)
+			}
+			for i := range eng.Sessions {
+				if eng.Sessions[i].Completed != res.RequestsPerSession {
+					t.Fatalf("policy %s starved session %d: completed %d of %d",
+						pol, i, eng.Sessions[i].Completed, res.RequestsPerSession)
+				}
+			}
+
+			var inter, batch *ClassReport
+			for i := range res.Classes {
+				switch res.Classes[i].Name {
+				case "interactive":
+					inter = &res.Classes[i]
+				case "batch":
+					batch = &res.Classes[i]
+				}
+			}
+			if inter == nil || batch == nil {
+				t.Fatalf("policy %s: missing class reports", pol)
+			}
+			if inter.Latency.P99Cycles >= batch.Latency.P99Cycles {
+				t.Fatalf("policy %s: interactive p99 %d not below batch p99 %d",
+					pol, inter.Latency.P99Cycles, batch.Latency.P99Cycles)
+			}
+
+			results[pol] = res
+		})
+	}
+	if len(results) != len(pm.PolicyNames()) {
+		return // a subtest failed; skip cross-policy comparisons
+	}
+
+	p99 := func(pol, class string) uint64 {
+		for _, cr := range results[pol].Classes {
+			if cr.Name == class {
+				return cr.Latency.P99Cycles
+			}
+		}
+		t.Fatalf("no class %s in %s result", class, pol)
+		return 0
+	}
+	mean := func(pol, class string) uint64 {
+		for _, cr := range results[pol].Classes {
+			if cr.Name == class {
+				return cr.Latency.MeanCycles
+			}
+		}
+		return 0
+	}
+
+	// Strict priority is the best schedule for interactive under
+	// overload; deadline aging admits batch earlier at interactive's
+	// expense.
+	if p99("null", "interactive") >= p99("deadline", "interactive") {
+		t.Errorf("deadline aging did not cost interactive: null p99 %d, deadline p99 %d",
+			p99("null", "interactive"), p99("deadline", "interactive"))
+	}
+	// What interactive pays, batch gains: mean batch latency under
+	// deadline must be no worse than under strict priority.
+	if mean("deadline", "batch") > mean("null", "batch") {
+		t.Errorf("deadline aging did not help batch: null mean %d, deadline mean %d",
+			mean("null", "batch"), mean("deadline", "batch"))
+	}
+	// Fair sharing is a genuinely different schedule from strict
+	// priority, and weakens interactive's priority advantage further.
+	if results["fair"].Fingerprint() == results["null"].Fingerprint() {
+		t.Errorf("fair policy produced the identical run to null: daemon never rebalanced")
+	}
+	if p99("fair", "interactive") <= p99("null", "interactive") {
+		t.Errorf("fair sharing beat strict priority for interactive p99: fair %d, null %d",
+			p99("fair", "interactive"), p99("null", "interactive"))
+	}
+}

@@ -1,0 +1,257 @@
+// Package scenario is the open-loop workload engine: it drives 10⁴–10⁶
+// simulated user sessions against a configured iMAX system and measures
+// per-request latency in virtual time with SLO-grade percentiles.
+//
+// Every experiment in internal/experiments is closed-loop: a fixed
+// population of processes runs to completion and throughput is reported.
+// The paper's pitch — a multiprocessor OS whose pluggable process
+// management serves many concurrent users (§6.1) — is an open-loop claim:
+// work arrives on its own schedule whether or not the system keeps up,
+// and what matters is the latency distribution under that arrival
+// pressure. The engine therefore separates the arrival process from the
+// service capacity:
+//
+//   - Sessions arrive by a seeded arrival process (Poisson or bursty
+//     trains, arrival.go) that does not know or care how busy the system
+//     is. Each session issues a configurable number of requests.
+//   - Requests are session objects sent to a per-class request port and
+//     served by a fixed pool of resident server processes
+//     (workload.ServerSpec programs) spawned through the pm layer under
+//     a selected scheduling policy (pm.Select).
+//   - Request latency is scheduled-arrival to observed-completion in
+//     virtual cycles, recorded in a deterministic fixed-bucket histogram
+//     (vtime.Hist). A request that finds its port full queues in the
+//     engine and its wait counts: open-loop latency includes queueing.
+//
+// The engine is itself a discrete-event simulation layered over the
+// cycle-accurate driver: between Step quanta it injects due arrivals and
+// drains completions, and when the machine goes idle it advances virtual
+// time to the next arrival the way gdp.Run advances to the next timer.
+// Completions are observed at Step boundaries, so individual latencies
+// carry a bounded measurement granularity of one step quantum; the
+// quantum is part of the configuration and therefore of the determinism
+// contract.
+//
+// Determinism is a hard property, not an aspiration: a scenario's Result
+// — every percentile, every counter — is a pure function of (Config,
+// seed). All samplers are integer-only (no float anywhere in the engine),
+// all engine state is iterated in slice order, and the underlying driver
+// is byte-identical across its serial and parallel backends. The same
+// seed and config therefore produce a byte-identical canonical JSON
+// report, which is what makes the engine a regression test and not just
+// a load generator.
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/vtime"
+	"repro/internal/workload"
+)
+
+// Class is one session class of a scenario mix: a server pool with a
+// per-request program, scheduling parameters, and a share of the session
+// population.
+type Class struct {
+	Name string
+	// Weight is the relative share of sessions drawn into this class.
+	Weight int
+	// Servers is the size of the resident server pool.
+	Servers int
+	// Priority and TimeSlice are the hardware dispatching parameters
+	// requested for the pool (a policy may override them).
+	Priority  uint16
+	TimeSlice uint32
+	// Spec is the per-request server program.
+	Spec workload.ServerSpec
+}
+
+// Config fully determines a scenario. Result is a pure function of this
+// struct: two runs of the same Config produce identical Results.
+type Config struct {
+	Name string
+	Seed int64
+
+	// Sessions is the simulated user population; each session issues
+	// RequestsPerSession requests (default 1).
+	Sessions           int
+	RequestsPerSession int
+
+	// Processors and MemoryBytes configure the machine (defaults 4 and
+	// the driver default). Small MemoryBytes plus Swapping puts the
+	// memory manager on the request path.
+	Processors  int
+	MemoryBytes uint32
+	Swapping    bool
+	// CompactEvery runs mm compaction each time virtual time advances
+	// that far (0: never) — segment motion under live load.
+	CompactEvery vtime.Cycles
+
+	// Arrival selects the arrival process; MeanGap is the mean session
+	// inter-arrival gap in cycles; BurstLen sizes bursty trains.
+	Arrival  Arrival
+	MeanGap  vtime.Cycles
+	BurstLen int
+	// ThinkMean is the mean think gap between a session's requests.
+	ThinkMean vtime.Cycles
+	// OpenLoop fixes every request instant from the seed alone (pure
+	// open loop). Otherwise the engine is partly open: sessions arrive
+	// open-loop but think times run from observed completions.
+	OpenLoop bool
+
+	// Classes is the session mix (required).
+	Classes []Class
+	// SessionData is the session object size in bytes (default 64;
+	// must cover 4×max Touches).
+	SessionData uint32
+
+	// Policy selects the pm scheduling policy by name (pm.Select);
+	// FairQuantum and RebalanceEvery parameterise the fair scheduler.
+	Policy         string
+	FairQuantum    uint32
+	RebalanceEvery vtime.Cycles
+
+	// InjectEvents > 0 arms the fault injector with a plan of that many
+	// events from InjectSeed over InjectHorizon instructions.
+	InjectSeed    int64
+	InjectEvents  int
+	InjectHorizon uint64
+
+	// Host backend knobs (results are byte-identical across them).
+	HostParallel bool
+	NoExecCache  bool
+	Trace        bool
+
+	// StepQuantum is the driver step size, which is also the completion
+	// measurement granularity (default 2000 cycles).
+	StepQuantum vtime.Cycles
+	// DrainBudget bounds the run past the last scheduled instant;
+	// requests still unfinished then are censored at the deadline
+	// rather than waited for — degraded-but-bounded reporting under
+	// faults (default 20,000,000 cycles).
+	DrainBudget vtime.Cycles
+	// PortCapacity sizes the request ports (default 64).
+	PortCapacity uint16
+}
+
+// withDefaults fills zero fields; it never mutates the receiver.
+func (c Config) withDefaults() Config {
+	if c.RequestsPerSession == 0 {
+		c.RequestsPerSession = 1
+	}
+	if c.Processors == 0 {
+		c.Processors = 4
+	}
+	if c.Arrival == "" {
+		c.Arrival = Poisson
+	}
+	if c.MeanGap == 0 {
+		c.MeanGap = 500
+	}
+	if c.BurstLen == 0 {
+		c.BurstLen = 64
+	}
+	if c.ThinkMean == 0 {
+		c.ThinkMean = 10_000
+	}
+	if c.SessionData == 0 {
+		c.SessionData = 64
+	}
+	if c.Policy == "" {
+		c.Policy = "null"
+	}
+	if c.FairQuantum == 0 {
+		c.FairQuantum = 2_000
+	}
+	if c.RebalanceEvery == 0 {
+		c.RebalanceEvery = 20_000
+	}
+	if c.InjectHorizon == 0 {
+		c.InjectHorizon = 200_000
+	}
+	if c.StepQuantum == 0 {
+		c.StepQuantum = 2_000
+	}
+	if c.DrainBudget == 0 {
+		c.DrainBudget = 20_000_000
+	}
+	if c.PortCapacity == 0 {
+		c.PortCapacity = 64
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Sessions <= 0 {
+		return fmt.Errorf("scenario %q: Sessions must be positive", c.Name)
+	}
+	if len(c.Classes) == 0 {
+		return fmt.Errorf("scenario %q: at least one class required", c.Name)
+	}
+	for _, cl := range c.Classes {
+		if cl.Weight <= 0 || cl.Servers <= 0 {
+			return fmt.Errorf("scenario %q: class %q needs positive Weight and Servers", c.Name, cl.Name)
+		}
+		if 4*cl.Spec.Touches > c.SessionData {
+			return fmt.Errorf("scenario %q: class %q touches %d dwords but sessions are %d bytes",
+				c.Name, cl.Name, cl.Spec.Touches, c.SessionData)
+		}
+	}
+	return nil
+}
+
+// PresetNames lists the shipped scenario presets.
+func PresetNames() []string {
+	return []string{"baseline", "bursty", "mempressure", "chaos"}
+}
+
+// Preset returns a named scenario configuration scaled to the given
+// session count:
+//
+//   - "baseline": Poisson arrivals over an interactive + batch mix on
+//     the null policy — the headline open-loop SLO measurement.
+//   - "bursty": the same mix under bursty arrival trains.
+//   - "mempressure": large session objects in a small memory with the
+//     swapping manager and periodic compaction, so eviction, organic
+//     segment faults and segment motion sit on the request path.
+//   - "chaos": the baseline mix with the fault injector armed — SLO
+//     under faults. (Pure open loop, so the request schedule itself
+//     cannot diverge under injections.)
+func Preset(name string, sessions int, seed int64) (Config, error) {
+	interactive := Class{
+		Name: "interactive", Weight: 4, Servers: 8,
+		Priority: 12, TimeSlice: 3_000,
+		Spec: workload.ServerSpec{Demand: 20, Touches: 2},
+	}
+	batch := Class{
+		Name: "batch", Weight: 1, Servers: 2,
+		Priority: 3, TimeSlice: 8_000,
+		Spec: workload.ServerSpec{Demand: 400, Touches: 4, DomainCalls: 1},
+	}
+	base := Config{
+		Name:     name,
+		Seed:     seed,
+		Sessions: sessions,
+		Classes:  []Class{interactive, batch},
+	}
+	switch name {
+	case "baseline":
+		return base, nil
+	case "bursty":
+		base.Arrival = Bursty
+		return base, nil
+	case "mempressure":
+		base.Sessions = sessions
+		base.MemoryBytes = 1 << 21 // 2 MB: far below the session footprint
+		base.Swapping = true
+		base.CompactEvery = 100_000
+		base.SessionData = 2048
+		base.MeanGap = 2_000 // slower arrivals: swap transfers dominate
+		return base, nil
+	case "chaos":
+		base.OpenLoop = true
+		base.InjectEvents = 12
+		return base, nil
+	}
+	return Config{}, fmt.Errorf("scenario: unknown preset %q (have %v)", name, PresetNames())
+}

@@ -1,0 +1,155 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/audit"
+)
+
+// testSessions scales the determinism regression: 10⁴ sessions as the
+// issue demands, trimmed under -short for quick local iteration.
+func testSessions(t *testing.T) int {
+	if testing.Short() {
+		return 1_000
+	}
+	return 10_000
+}
+
+func runPreset(t *testing.T, name string, sessions int, seed int64, mutate func(*Config)) (*Engine, *Result) {
+	t.Helper()
+	cfg, err := Preset(name, sessions, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, res
+}
+
+// TestScenarioSmoke checks the basic open-loop contract on a small run:
+// everything issued completes, latency is recorded, and the percentiles
+// are ordered.
+func TestScenarioSmoke(t *testing.T) {
+	_, res := runPreset(t, "baseline", 500, 7, nil)
+	want := uint64(500 * res.RequestsPerSession)
+	if res.Issued != want || res.Completed != want {
+		t.Fatalf("issued %d completed %d, want %d", res.Issued, res.Completed, want)
+	}
+	if res.Censored != 0 || res.Alien != 0 {
+		t.Fatalf("unexpected censored %d / alien %d", res.Censored, res.Alien)
+	}
+	o := res.Overall
+	if o.Samples != want || o.P50Cycles == 0 {
+		t.Fatalf("overall latency not recorded: %+v", o)
+	}
+	if o.P50Cycles > o.P99Cycles || o.P99Cycles > o.P999Cycles || o.P999Cycles > o.MaxCycles {
+		t.Fatalf("percentiles not monotone: %+v", o)
+	}
+	if res.VirtualRPS <= 0 {
+		t.Fatalf("virtual throughput not reported")
+	}
+}
+
+// TestScenarioDeterminism is the determinism regression the engine's
+// value rests on: the same seed and config produce byte-identical
+// canonical JSON and identical kernel trace counters across two
+// independent runs, for both arrival processes and both loop modes.
+func TestScenarioDeterminism(t *testing.T) {
+	n := testSessions(t)
+	for _, preset := range []string{"baseline", "bursty", "chaos"} {
+		preset := preset
+		t.Run(preset, func(t *testing.T) {
+			trace := func(c *Config) { c.Trace = true }
+			e1, r1 := runPreset(t, preset, n, 42, trace)
+			e2, r2 := runPreset(t, preset, n, 42, trace)
+			b1, err := r1.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := r2.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("canonical JSON diverges between same-seed runs:\n%s\nvs\n%s", b1, b2)
+			}
+			c1, c2 := e1.IM.TraceLog.Counts(), e2.IM.TraceLog.Counts()
+			for k := range c1 {
+				if c1[k] != c2[k] {
+					t.Fatalf("trace counter %d diverges: %d vs %d", k, c1[k], c2[k])
+				}
+			}
+			if r1.Completed == 0 {
+				t.Fatalf("degenerate run: nothing completed")
+			}
+		})
+	}
+}
+
+// TestScenarioSeedSensitivity guards against a frozen sampler: different
+// seeds must actually produce different runs.
+func TestScenarioSeedSensitivity(t *testing.T) {
+	_, r1 := runPreset(t, "baseline", 500, 1, nil)
+	_, r2 := runPreset(t, "baseline", 500, 2, nil)
+	if r1.Fingerprint() == r2.Fingerprint() {
+		t.Fatalf("different seeds produced identical results")
+	}
+}
+
+// TestScenarioSerialParallelDifferential runs the same scenario on the
+// serial and parallel host backends and asserts identical results AND
+// identical final world state: the reachable-object snapshots must be
+// image-equal, and the audit must pass in both worlds.
+func TestScenarioSerialParallelDifferential(t *testing.T) {
+	n := testSessions(t) / 2
+	serial, rs := runPreset(t, "baseline", n, 11, nil)
+	par, rp := runPreset(t, "baseline", n, 11, func(c *Config) { c.HostParallel = true })
+
+	bs, err := rs.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := rp.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bs, bp) {
+		t.Fatalf("serial and parallel results diverge:\n%s\nvs\n%s", bs, bp)
+	}
+
+	audit.Check(t, serial.IM.System)
+	audit.Check(t, par.IM.System)
+
+	ss := audit.SnapshotReachable(serial.IM.Table)
+	sp := audit.SnapshotReachable(par.IM.Table)
+	if len(ss.Images) == 0 {
+		t.Fatalf("serial snapshot captured no comparable objects")
+	}
+	if len(ss.Images) != len(sp.Images) {
+		t.Fatalf("snapshot sizes diverge: %d vs %d", len(ss.Images), len(sp.Images))
+	}
+	for idx, a := range ss.Images {
+		b, ok := sp.Images[idx]
+		if !ok {
+			t.Fatalf("object %d present only in serial world", idx)
+		}
+		if a.Type != b.Type || a.Gen != b.Gen || a.Level != b.Level ||
+			a.DataLen != b.DataLen || a.AccessSlots != b.AccessSlots ||
+			!bytes.Equal(a.Data, b.Data) || !bytes.Equal(a.Access, b.Access) {
+			t.Fatalf("object %d diverges between serial and parallel worlds", idx)
+		}
+	}
+	if serial.IM.Now() != par.IM.Now() {
+		t.Fatalf("final virtual time diverges: %v vs %v", serial.IM.Now(), par.IM.Now())
+	}
+}
