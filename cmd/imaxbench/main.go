@@ -14,6 +14,8 @@
 //	imaxbench -bench-pr5 OUT.json  scoped-invalidation + affinity benchmark
 //	imaxbench -bench-scale OUT.json [-scale-sessions N] [-scale-det]
 //	                               open-loop scale scenarios (SLO percentiles)
+//	imaxbench -bench-shard OUT.json [-shard-sessions N] [-shard-det]
+//	                               sharded multi-kernel scale-out benchmark
 //	imaxbench -cpuprofile CPU.pprof -memprofile MEM.pprof ...
 package main
 
@@ -43,6 +45,9 @@ func run() int {
 	benchScale := flag.String("bench-scale", "", "run the open-loop scale scenarios and write the JSON report here")
 	scaleSessions := flag.Int("scale-sessions", 100_000, "headline session population for -bench-scale")
 	scaleDet := flag.Bool("scale-det", false, "zero host wall-clock fields in -bench-scale for byte-comparable artifacts")
+	benchShard := flag.String("bench-shard", "", "run the sharded multi-kernel scale-out benchmark and write the JSON report here")
+	shardSessions := flag.Int("shard-sessions", 20_000, "session population for -bench-shard")
+	shardDet := flag.Bool("shard-det", false, "zero host wall-clock fields in -bench-shard for byte-comparable artifacts")
 	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile here")
 	memprofile := flag.String("memprofile", "", "write a host heap profile here on exit")
 	flag.Parse()
@@ -195,6 +200,34 @@ func run() int {
 			}
 		}
 		fmt.Println("report:", *benchScale)
+		return 0
+	}
+
+	if *benchShard != "" {
+		rep, err := experiments.BenchShard(*benchShard, *shardSessions, *shardDet)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "imaxbench:", err)
+			return 1
+		}
+		fmt.Printf("bench-shard: host %d cpus, GOMAXPROCS %d, degenerate=%v (%s)\n",
+			rep.HostCPUs, rep.GOMAXPROCS, rep.Degenerate, rep.GoVersion)
+		fmt.Printf("  %d sessions, seed %d, deterministic=%v, speedup 4x1 = %.2fx\n",
+			rep.Sessions, rep.Seed, rep.Deterministic, rep.Speedup4x1)
+		for _, r := range rep.Runs {
+			s := r.Shard
+			fmt.Printf("  %d node(s): %.0f req/s aggregate over %.1f vms; %d/%d completed, "+
+				"%.1f%% migrated, %d wire msgs (%d KiB)\n",
+				s.Nodes, s.AggregateRPS, s.VirtualMs, s.Completed, s.Issued,
+				100*s.MigrationFraction, s.WireMsgs, s.WireBytes/1024)
+			for _, n := range s.PerNode {
+				fmt.Printf("    node %d: %d homed, %d served (%.0f req/s), %d filed / %d activated objects\n",
+					n.Node, n.SessionsHomed, n.Served, n.VirtualRPS, n.FiledObjects, n.ActivatedObjects)
+			}
+			if r.HostNs > 0 {
+				fmt.Printf("    host: %.2fms, %.0f req/s\n", float64(r.HostNs)/1e6, r.HostRPS)
+			}
+		}
+		fmt.Println("report:", *benchShard)
 		return 0
 	}
 

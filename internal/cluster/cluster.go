@@ -1,0 +1,323 @@
+// Package cluster runs N independent iMAX kernels ("nodes") in one
+// process and connects them with the only channel the multicomputer
+// object-store design allows: passivated object graphs. Each node is a
+// full core.IMAX — its own object table, SRO manager, type manager, and
+// filing volume — and nothing else is shared. A graph leaves a node by
+// Passivate → Export on the sender's volume, rides a wire buffer as
+// self-checking image bytes, and re-enters by Import → Activate on the
+// receiver's volume, where user types re-bind to the *receiver's* live
+// TDOs. Capabilities never cross: an AD is meaningless outside its
+// table, so the wire carries structure and bytes, and each kernel mints
+// its own authority on arrival — exactly the filing guarantee made
+// load-bearing.
+//
+// Every shipped graph is tracked in a transfer ledger. At any instant a
+// graph is owned by exactly one place — the wire buffer between two
+// nodes, or the receiver's filing volume — and once materialized (or
+// refused), by no place at all. audit.CheckTransfers validates that
+// single-ownership rule and reconciles activation-side object counts
+// against passivation-side counts across the whole cluster; Snapshot
+// produces its input by joining the ledger against ground truth (the
+// actual queues, the actual volumes) rather than trusting the ledger's
+// own claims.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/obj"
+)
+
+// Kind tags a wire message with its role in the request/reply protocol
+// layered on top of the transfer channel.
+type Kind uint8
+
+const (
+	MsgRequest Kind = iota
+	MsgReply
+)
+
+// Msg is one passivated graph in flight between two nodes.
+type Msg struct {
+	Graph    uint64 // transfer-ledger id
+	From, To int
+	Kind     Kind
+	Seq      uint64 // caller correlation id (session, request, …)
+	Img      []byte // Export output: self-checking image bytes
+	Objects  int    // passivation-side object count
+}
+
+// Delivery is a message Import-ed into the receiving node's volume,
+// ready to Materialize.
+type Delivery struct {
+	Msg
+	Tok uint64 // token in the receiver's volume
+}
+
+type flightState uint8
+
+const (
+	flightWire flightState = iota
+	flightStore
+	flightClosed
+)
+
+type graphRec struct {
+	id        uint64
+	from, to  int
+	kind      Kind
+	objects   int
+	activated int
+	state     flightState
+	tok       uint64 // receiver-volume token while state == flightStore
+	failed    bool
+}
+
+// Node is one kernel of the cluster.
+type Node struct {
+	ID int
+	IM *core.IMAX
+}
+
+// Config assembles a cluster. Every node boots from the same core
+// configuration with filing forced on (the transfer channel is the
+// point); GC stays per-node and optional.
+type Config struct {
+	Nodes int
+	Node  core.Config
+}
+
+// Cluster is N kernels and the wire between them.
+type Cluster struct {
+	Nodes []*Node
+
+	// queues[from][to] is a FIFO of in-flight messages.
+	queues [][][]Msg
+
+	graphs    map[uint64]*graphRec
+	nextGraph uint64
+
+	// Wire statistics.
+	Shipped           uint64
+	DeliveredMsgs     uint64
+	Materialized      uint64
+	FailedActivations uint64
+	WireBytes         uint64
+}
+
+// New boots the cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", cfg.Nodes)
+	}
+	nodeCfg := cfg.Node
+	nodeCfg.Filing = true
+	c := &Cluster{
+		graphs:    make(map[uint64]*graphRec),
+		nextGraph: 1,
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		im, err := core.Boot(nodeCfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: booting node %d: %w", i, err)
+		}
+		c.Nodes = append(c.Nodes, &Node{ID: i, IM: im})
+	}
+	c.queues = make([][][]Msg, cfg.Nodes)
+	for i := range c.queues {
+		c.queues[i] = make([][]Msg, cfg.Nodes)
+	}
+	return c, nil
+}
+
+// DefineSharedType defines a user type of the same name independently on
+// every node and binds it into every volume's activation registry. The
+// returned slice holds each node's own TDO — distinct objects in
+// distinct tables that happen to agree on a name, which is all the wire
+// format ever carries.
+func (c *Cluster) DefineSharedType(name string) ([]obj.AD, error) {
+	tdos := make([]obj.AD, len(c.Nodes))
+	for i, n := range c.Nodes {
+		tdo, f := n.IM.TDOs.Define(name, obj.LevelGlobal, obj.NilIndex)
+		if f != nil {
+			return nil, fmt.Errorf("cluster: defining %q on node %d: %w", name, i, error(f))
+		}
+		if f := n.IM.Files.BindType(name, tdo); f != nil {
+			return nil, fmt.Errorf("cluster: binding %q on node %d: %w", name, i, error(f))
+		}
+		tdos[i] = tdo
+	}
+	return tdos, nil
+}
+
+// Ship passivates the graph rooted at root on node from and enqueues its
+// image toward node to. The sender's volume gives the image up
+// immediately — the wire buffer is the graph's sole owner until
+// delivery. The live graph on the sender is untouched; shipping files a
+// copy, it does not destroy the original.
+func (c *Cluster) Ship(from, to int, root obj.AD, kind Kind, seq uint64) (uint64, error) {
+	if from < 0 || from >= len(c.Nodes) || to < 0 || to >= len(c.Nodes) {
+		return 0, fmt.Errorf("cluster: ship %d->%d outside cluster of %d nodes", from, to, len(c.Nodes))
+	}
+	st := c.Nodes[from].IM.Files
+	filed0 := st.FiledObjects
+	tok, err := st.Passivate(root)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: passivating on node %d: %w", from, err)
+	}
+	objects := int(st.FiledObjects - filed0)
+	img, err := st.Export(tok)
+	if err != nil {
+		return 0, err
+	}
+	if err := st.Delete(tok); err != nil {
+		return 0, err
+	}
+	id := c.nextGraph
+	c.nextGraph++
+	c.graphs[id] = &graphRec{id: id, from: from, to: to, kind: kind, objects: objects, state: flightWire}
+	c.queues[from][to] = append(c.queues[from][to], Msg{
+		Graph: id, From: from, To: to, Kind: kind, Seq: seq, Img: img, Objects: objects,
+	})
+	c.Shipped++
+	c.WireBytes += uint64(len(img))
+	return id, nil
+}
+
+// Deliver drains every queue addressed to node to, in deterministic
+// order (sender 0 first, FIFO within a sender), importing each image
+// into the receiver's volume. An image the volume refuses (wire damage)
+// closes its flight as failed; clean deliveries come back ready to
+// Materialize.
+func (c *Cluster) Deliver(to int) ([]Delivery, error) {
+	if to < 0 || to >= len(c.Nodes) {
+		return nil, fmt.Errorf("cluster: deliver to %d outside cluster of %d nodes", to, len(c.Nodes))
+	}
+	st := c.Nodes[to].IM.Files
+	var out []Delivery
+	for from := range c.Nodes {
+		q := c.queues[from][to]
+		if len(q) == 0 {
+			continue
+		}
+		c.queues[from][to] = nil
+		for _, m := range q {
+			rec := c.graphs[m.Graph]
+			tok, err := st.Import(m.Img)
+			if err != nil {
+				rec.state = flightClosed
+				rec.failed = true
+				c.FailedActivations++
+				continue
+			}
+			rec.state = flightStore
+			rec.tok = tok
+			c.DeliveredMsgs++
+			out = append(out, Delivery{Msg: m, Tok: tok})
+		}
+	}
+	return out, nil
+}
+
+// Materialize activates a delivered graph on its destination node,
+// allocating from the node's global heap, and closes the flight. The
+// volume's copy is deleted either way: success hands ownership to the
+// live object graph, failure (corrupt edge, unbound type, exhausted
+// claim — all unwound by filing) leaves the graph owned by no one, and
+// the ledger records which.
+func (c *Cluster) Materialize(d Delivery) (obj.AD, []obj.AD, error) {
+	rec, ok := c.graphs[d.Graph]
+	if !ok || rec.state != flightStore {
+		return obj.NilAD, nil, fmt.Errorf("cluster: graph %d is not deliverable", d.Graph)
+	}
+	im := c.Nodes[d.To].IM
+	root, created, err := im.Files.ActivateGraph(d.Tok, im.Heap)
+	_ = im.Files.Delete(d.Tok)
+	rec.state = flightClosed
+	if err != nil {
+		rec.failed = true
+		c.FailedActivations++
+		return obj.NilAD, nil, err
+	}
+	rec.activated = len(created)
+	c.Materialized++
+	return root, created, nil
+}
+
+// ReclaimGraph destroys an activated graph copy — newest object first —
+// crediting the node's storage claims. The shard engine calls this once
+// a migrated request has been forwarded or its reply copied back:
+// shipped copies are working storage, not a second identity.
+func (c *Cluster) ReclaimGraph(node int, created []obj.AD) error {
+	if node < 0 || node >= len(c.Nodes) {
+		return fmt.Errorf("cluster: reclaim on node %d outside cluster", node)
+	}
+	sros := c.Nodes[node].IM.SROs
+	for i := len(created) - 1; i >= 0; i-- {
+		if f := sros.Reclaim(created[i].Index); f != nil {
+			return fmt.Errorf("cluster: reclaiming graph object %d on node %d: %w",
+				created[i].Index, node, error(f))
+		}
+	}
+	return nil
+}
+
+// Snapshot joins the transfer ledger against observed ground truth —
+// the wire queues as they are, the volumes as they are — for
+// audit.CheckTransfers. It trusts the ledger for what was shipped and
+// the world for where everything is.
+func (c *Cluster) Snapshot() audit.TransferSnapshot {
+	wireCount := make(map[uint64]int)
+	for from := range c.queues {
+		for to := range c.queues[from] {
+			for _, m := range c.queues[from][to] {
+				wireCount[m.Graph]++
+			}
+		}
+	}
+	ids := make([]uint64, 0, len(c.graphs))
+	for id := range c.graphs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	s := audit.TransferSnapshot{Nodes: len(c.Nodes)}
+	for _, id := range ids {
+		rec := c.graphs[id]
+		// Ground truth, not the ledger's claim: a token is "held" iff the
+		// receiver's volume actually still has it. Tokens are never
+		// reused, so a closed flight whose Delete misfired shows up here.
+		held := rec.tok != 0 && c.Nodes[rec.to].IM.Files.Has(rec.tok)
+		state := audit.FlightWire
+		switch rec.state {
+		case flightStore:
+			state = audit.FlightStore
+		case flightClosed:
+			state = audit.FlightClosed
+		}
+		s.Flights = append(s.Flights, audit.GraphFlight{
+			ID: rec.id, From: rec.from, To: rec.to, State: state,
+			Objects: rec.objects, Activated: rec.activated, Failed: rec.failed,
+			WireCopies: wireCount[id], StoreHeld: held,
+		})
+	}
+	for _, n := range c.Nodes {
+		s.NodeFiledObjects = append(s.NodeFiledObjects, n.IM.Files.FiledObjects)
+		s.NodeActivatedObjects = append(s.NodeActivatedObjects, n.IM.Files.ActivatedObjects)
+	}
+	return s
+}
+
+// PendingWire reports the number of messages sitting in wire buffers.
+func (c *Cluster) PendingWire() int {
+	n := 0
+	for from := range c.queues {
+		for to := range c.queues[from] {
+			n += len(c.queues[from][to])
+		}
+	}
+	return n
+}

@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/obj"
+)
+
+func testConfig(nodes int) Config {
+	return Config{
+		Nodes: nodes,
+		Node:  core.Config{Processors: 1, MemoryBytes: 1 << 22},
+	}
+}
+
+func checkClean(t *testing.T, c *Cluster) {
+	t.Helper()
+	if vs := audit.CheckTransfers(c.Snapshot()); len(vs) > 0 {
+		t.Fatalf("transfer accounting violated: %v", vs)
+	}
+}
+
+func TestShipDeliverMaterializeRoundTrip(t *testing.T) {
+	c, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tdos, err := c.DefineSharedType("session_rec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.Nodes[0].IM
+
+	// root (typed, data) -> child (generic, data); child -> root cycle.
+	root, f := a.TDOs.CreateInstance(tdos[0], obj.CreateSpec{DataLen: 16, AccessSlots: 1})
+	if f != nil {
+		t.Fatal(f)
+	}
+	child, f := a.SROs.Create(a.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8, AccessSlots: 1})
+	if f != nil {
+		t.Fatal(f)
+	}
+	a.Table.WriteDWord(root, 0, 0xAAAA)
+	a.Table.WriteDWord(child, 0, 0xBBBB)
+	a.Table.StoreAD(root, 0, child)
+	a.Table.StoreAD(child, 0, root)
+
+	id, err := c.Ship(0, 1, root, MsgRequest, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PendingWire() != 1 {
+		t.Fatalf("wire holds %d messages, want 1", c.PendingWire())
+	}
+	checkClean(t, c)
+
+	// The sender's live graph is untouched by shipping.
+	if v, _ := a.Table.ReadDWord(root, 0); v != 0xAAAA {
+		t.Fatal("shipping mutated the original")
+	}
+
+	ds, err := c.Deliver(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Graph != id || ds[0].Seq != 7 || ds[0].Objects != 2 {
+		t.Fatalf("delivery = %+v", ds)
+	}
+	if c.PendingWire() != 0 {
+		t.Fatal("message still on the wire after delivery")
+	}
+	checkClean(t, c)
+
+	b := c.Nodes[1].IM
+	liveBefore := b.Table.Live()
+	rootB, created, err := c.Materialize(ds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(created) != 2 {
+		t.Fatalf("materialized %d objects, want 2", len(created))
+	}
+	checkClean(t, c)
+
+	if v, _ := b.Table.ReadDWord(rootB, 0); v != 0xAAAA {
+		t.Fatalf("root data = %#x", v)
+	}
+	childB, f := b.Table.LoadAD(rootB, 0)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if v, _ := b.Table.ReadDWord(childB, 0); v != 0xBBBB {
+		t.Fatalf("child data = %#x", v)
+	}
+	back, f := b.Table.LoadAD(childB, 0)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if back.Index != rootB.Index {
+		t.Fatal("cycle broken crossing nodes")
+	}
+	// Typed by the receiver's own TDO, not the sender's.
+	d := b.Table.DescriptorAt(rootB.Index)
+	if d.UserType != tdos[1].Index {
+		t.Fatalf("activated root typed by %d, want node 1's TDO %d", d.UserType, tdos[1].Index)
+	}
+
+	if err := c.ReclaimGraph(1, created); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Table.Live(); got != liveBefore {
+		t.Fatalf("live = %d after reclaim, want %d", got, liveBefore)
+	}
+	checkClean(t, c)
+}
+
+func TestUnboundTypeFailsActivationWithoutLeak(t *testing.T) {
+	c, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.Nodes[0].IM
+	// Bind the type on the sender only.
+	tdo, f := a.TDOs.Define("sender_only", obj.LevelGlobal, obj.NilIndex)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if f := a.Files.BindType("sender_only", tdo); f != nil {
+		t.Fatal(f)
+	}
+	root, f := a.TDOs.CreateInstance(tdo, obj.CreateSpec{DataLen: 4})
+	if f != nil {
+		t.Fatal(f)
+	}
+	if _, err := c.Ship(0, 1, root, MsgRequest, 1); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := c.Deliver(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := c.Nodes[1].IM.Table.Live()
+	if _, _, err := c.Materialize(ds[0]); err == nil {
+		t.Fatal("activation minted an unbound type")
+	}
+	if got := c.Nodes[1].IM.Table.Live(); got != live {
+		t.Fatalf("failed materialization leaked: live %d -> %d", live, got)
+	}
+	if c.FailedActivations != 1 {
+		t.Fatalf("FailedActivations = %d", c.FailedActivations)
+	}
+	checkClean(t, c)
+}
+
+func TestWireDamageSurfacesAtDelivery(t *testing.T) {
+	c, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.Nodes[0].IM
+	root, f := a.SROs.Create(a.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 16})
+	if f != nil {
+		t.Fatal(f)
+	}
+	if _, err := c.Ship(0, 1, root, MsgRequest, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Cosmic ray on the wire.
+	c.queues[0][1][0].Img[9] ^= 0x80
+	ds, err := c.Deliver(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Fatalf("damaged image delivered: %+v", ds)
+	}
+	if c.FailedActivations != 1 {
+		t.Fatalf("FailedActivations = %d", c.FailedActivations)
+	}
+	checkClean(t, c)
+}
+
+func TestSnapshotCatchesSmuggledWireCopy(t *testing.T) {
+	c, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.Nodes[0].IM
+	root, f := a.SROs.Create(a.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 4})
+	if f != nil {
+		t.Fatal(f)
+	}
+	if _, err := c.Ship(0, 1, root, MsgRequest, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A bug that duplicates a wire buffer must not pass the auditor.
+	c.queues[0][1] = append(c.queues[0][1], c.queues[0][1][0])
+	vs := audit.CheckTransfers(c.Snapshot())
+	if len(vs) == 0 {
+		t.Fatal("duplicated wire buffer went unnoticed")
+	}
+	if !strings.Contains(vs[0].Msg, "wire copies") {
+		t.Fatalf("unexpected violation: %v", vs)
+	}
+}
+
+func TestSnapshotCatchesRetainedToken(t *testing.T) {
+	c, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.Nodes[0].IM
+	root, f := a.SROs.Create(a.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 4})
+	if f != nil {
+		t.Fatal(f)
+	}
+	if _, err := c.Ship(0, 1, root, MsgRequest, 1); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := c.Deliver(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Materialize(ds[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Re-import the image behind the ledger's back under the closed
+	// flight's old token: a volume that failed to give up its copy.
+	img := ds[0].Img
+	tok, err := c.Nodes[1].IM.Files.Import(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.graphs[ds[0].Graph].tok = tok
+	vs := audit.CheckTransfers(c.Snapshot())
+	if len(vs) == 0 {
+		t.Fatal("retained volume copy of a closed flight went unnoticed")
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+// BenchShard is the multi-kernel scale-out benchmark behind `imaxbench
+// -bench-shard`: the sharded session scenario (internal/scenario over
+// internal/cluster) runs the same saturating arrival schedule — same
+// seed, same session population, same class mix — against clusters of
+// 1, 2 and 4 kernels, and the artifact's headline is the aggregate
+// committed-request throughput ratio. Throughput is measured in virtual
+// cycles (completed requests per simulated second under lockstep
+// cluster time), so the scale-out claim is a property of the simulated
+// architecture, not of the host's core count; host wall-clock rides
+// along for context exactly as in BenchScale.
+//
+// The 4-node-over-1-node ratio is an acceptance gate: the binary exits
+// non-zero if it falls under 2x, because a transfer channel that eats
+// its own scale-out win is a regression, not a data point.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// BenchShardRun is one cluster-size execution.
+type BenchShardRun struct {
+	Shard *scenario.ShardResult `json:"shard"`
+	// HostNs / HostRPS are wall-clock context, zero under -shard-det.
+	HostNs  int64   `json:"host_ns"`
+	HostRPS float64 `json:"host_rps"`
+}
+
+// BenchShardReport is the JSON artifact written by imaxbench
+// -bench-shard (BENCH_shard.json).
+type BenchShardReport struct {
+	HostCPUs   int    `json:"host_cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Degenerate bool   `json:"degenerate"`
+	GoVersion  string `json:"go_version"`
+
+	Sessions int   `json:"sessions"`
+	Seed     int64 `json:"seed"`
+
+	// Speedup4x1 is 4-node aggregate virtual RPS over 1-node.
+	Speedup4x1 float64 `json:"speedup_4x1"`
+	// Deterministic reports the double-run self-check of the 4-node
+	// scenario (same config, byte-identical canonical JSON).
+	Deterministic       bool   `json:"deterministic"`
+	HeadlineFingerprint string `json:"headline_fingerprint"`
+
+	Runs []BenchShardRun `json:"runs"`
+}
+
+const benchShardSeed = 42
+
+func benchShardOne(nodes, sessions int, det bool) (*BenchShardRun, error) {
+	eng, err := scenario.NewShard(scenario.ShardPreset(nodes, sessions, benchShardSeed))
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	if vs := eng.CheckTransfers(); len(vs) > 0 {
+		return nil, fmt.Errorf("bench-shard %d nodes: transfer accounting violated: %v", nodes, vs)
+	}
+	run := &BenchShardRun{Shard: res}
+	if !det {
+		run.HostNs = elapsed.Nanoseconds()
+		if s := elapsed.Seconds(); s > 0 {
+			run.HostRPS = float64(res.Completed) / s
+		}
+	}
+	return run, nil
+}
+
+// BenchShard runs the sharded scenario at 1, 2 and 4 nodes and writes
+// the JSON report to path. sessions scales the population (default
+// 20,000); det zeroes host wall-clock fields for byte-comparable
+// artifacts.
+func BenchShard(path string, sessions int, det bool) (*BenchShardReport, error) {
+	if sessions <= 0 {
+		sessions = 20_000
+	}
+	rep := &BenchShardReport{
+		HostCPUs:   runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Degenerate: runtime.GOMAXPROCS(0) == 1,
+		GoVersion:  runtime.Version(),
+		Sessions:   sessions,
+		Seed:       benchShardSeed,
+	}
+	for _, nodes := range []int{1, 2, 4} {
+		run, err := benchShardOne(nodes, sessions, det)
+		if err != nil {
+			return nil, fmt.Errorf("bench-shard %d nodes: %w", nodes, err)
+		}
+		rep.Runs = append(rep.Runs, *run)
+	}
+
+	one, four := rep.Runs[0].Shard, rep.Runs[2].Shard
+	if one.AggregateRPS > 0 {
+		rep.Speedup4x1 = four.AggregateRPS / one.AggregateRPS
+	}
+
+	// Determinism self-check on the 4-node headline.
+	again, err := benchShardOne(4, sessions, true)
+	if err != nil {
+		return nil, fmt.Errorf("bench-shard determinism re-run: %w", err)
+	}
+	rep.HeadlineFingerprint = four.Fingerprint()
+	rep.Deterministic = again.Shard.Fingerprint() == rep.HeadlineFingerprint
+	if !rep.Deterministic {
+		return nil, fmt.Errorf("bench-shard: 4-node scenario NOT deterministic: %s vs %s",
+			rep.HeadlineFingerprint, again.Shard.Fingerprint())
+	}
+	if rep.Speedup4x1 < 2 {
+		return nil, fmt.Errorf("bench-shard: 4 nodes over 1 node = %.2fx aggregate throughput, want >= 2x "+
+			"(1n %.0f rps, 4n %.0f rps)", rep.Speedup4x1, one.AggregateRPS, four.AggregateRPS)
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

@@ -14,9 +14,30 @@
 // manager's live TDO, not of a forged copy: the filing system preserves
 // identity, it does not mint it.
 //
+// That promise is enforced against two distinct adversaries:
+//
+//   - a corrupt volume: a stored image whose bytes rotted (or were
+//     truncated) must fail activation with ErrCorrupt — never panic,
+//     never leave partially built objects behind;
+//   - a hostile image: a well-formed image that claims a privileged
+//     hardware type (SRO, TDO, port, process, …) is an attempt to mint
+//     authority the hardware would otherwise have to grant; activation
+//     refuses it with ErrPrivilegedType. Only plain generic objects can
+//     be rebuilt directly; everything type-labelled re-enters through
+//     the bound-type registry, which labels instances with the live TDO
+//     and never reconstructs the TDO itself.
+//
+// Activation is transactional: if any step of rebuilding a graph faults
+// (storage claim exhausted, corrupt edge, unbound type), every object
+// created so far is reclaimed — a failed activation holds no SRO quota.
+//
 // Only global (level-0) objects may be filed: a reference to a local
 // object would dangle the moment its heap unwound, and the level rule
 // that prevents that in memory must hold across the store as well.
+//
+// Export and Import expose the image bytes as a self-checking wire
+// format: internal/cluster ships passivated graphs between the filing
+// volumes of independent kernels over exactly this path.
 package filing
 
 import (
@@ -27,7 +48,6 @@ import (
 
 	"repro/internal/obj"
 	"repro/internal/sro"
-	"repro/internal/typedef"
 )
 
 // Errors reported by the filing system.
@@ -35,13 +55,25 @@ var (
 	ErrNoSuchFile  = errors.New("filing: no such file")
 	ErrCorrupt     = errors.New("filing: stored image fails its checksum")
 	ErrUnboundType = errors.New("filing: stored user type has no bound TDO")
+	// ErrPrivilegedType rejects an image that would rebuild a privileged
+	// hardware type (SRO, TDO, port, process, …) directly: filing
+	// preserves identity through the bound-type registry, it never mints
+	// hardware authority from stored bytes.
+	ErrPrivilegedType = errors.New("filing: image would mint a privileged hardware type")
 )
+
+// TypeNamer resolves a TDO capability to the name filed with instances of
+// its type. *typedef.Manager implements it; tests substitute hostile
+// namers to probe the image encoder's bounds.
+type TypeNamer interface {
+	Name(tdo obj.AD) (string, *obj.Fault)
+}
 
 // Store is one object filing volume.
 type Store struct {
 	Table *obj.Table
 	SROs  *sro.Manager
-	TDOs  *typedef.Manager
+	TDOs  TypeNamer
 
 	files map[uint64][]byte
 	next  uint64
@@ -56,7 +88,7 @@ type Store struct {
 }
 
 // NewStore returns an empty filing volume over the given managers.
-func NewStore(t *obj.Table, s *sro.Manager, td *typedef.Manager) *Store {
+func NewStore(t *obj.Table, s *sro.Manager, td TypeNamer) *Store {
 	return &Store{
 		Table: t, SROs: s, TDOs: td,
 		files: make(map[uint64][]byte),
@@ -88,6 +120,16 @@ func (s *Store) BindType(name string, tdo obj.AD) *obj.Fault {
 //	  per slot: uint32 graph index +1, or 0 for nil
 //	crc32 of everything above
 const fileMagic = 0x58414D69 // "iMAX"
+
+// objMinEncoded is the encoded size of the smallest possible object
+// record (empty name, no data, no slots): the fixed fields alone. A
+// stored count larger than remaining-bytes/objMinEncoded cannot describe
+// a real image and is rejected before any allocation trusts it.
+const objMinEncoded = 1 + 2 + 4 + 4
+
+// nameLenMax is the widest user-type name the image format can carry;
+// the nameLen field is 16 bits.
+const nameLenMax = 0xFFFF
 
 // Passivate files the object graph reachable from root and returns its
 // token. The root must be a global (level-0) object, and so must the
@@ -128,12 +170,27 @@ func (s *Store) Passivate(root obj.AD) (uint64, error) {
 		img = append(img, byte(d.Type))
 		name := ""
 		if d.UserType != obj.NilIndex {
-			tdoAD := obj.AD{Index: d.UserType, Gen: s.Table.DescriptorAt(d.UserType).Gen, Rights: obj.RightsAll}
+			td := s.Table.DescriptorAt(d.UserType)
+			if td == nil {
+				// The labelling TDO was destroyed while its instance
+				// lives on; an image recording the dead type would be
+				// unactivatable at best and a forgery vector at worst.
+				return 0, obj.Faultf(obj.FaultInvalidAD, ad,
+					"user-type TDO %d destroyed before passivation", d.UserType)
+			}
+			tdoAD := obj.AD{Index: d.UserType, Gen: td.Gen, Rights: obj.RightsAll}
 			n, f := s.TDOs.Name(tdoAD)
 			if f != nil {
 				return 0, f
 			}
 			name = n
+		}
+		if len(name) > nameLenMax {
+			// uint16(len(name)) would silently truncate the field and
+			// desynchronise every record after it — a corrupt image
+			// written by our own hand.
+			return 0, obj.Faultf(obj.FaultBounds, ad,
+				"user-type name of %d bytes exceeds the image's 16-bit field", len(name))
 		}
 		img = binary.LittleEndian.AppendUint16(img, uint16(len(name)))
 		img = append(img, name...)
@@ -177,61 +234,101 @@ func (s *Store) Passivate(root obj.AD) (uint64, error) {
 // Activate rebuilds a filed graph as fresh objects allocated from heap
 // and returns a capability for the root. Stored user types are re-bound
 // through the type registry; an unbound type name is an error — identity
-// cannot be conjured.
+// cannot be conjured. Activation is all-or-nothing: on any failure every
+// object already created is reclaimed, so a failed activation never
+// holds storage quota.
 func (s *Store) Activate(tok uint64, heap obj.AD) (obj.AD, error) {
+	root, _, err := s.ActivateGraph(tok, heap)
+	return root, err
+}
+
+// ActivateGraph is Activate returning, additionally, every object the
+// activation created in image order (the root first). Callers that later
+// need to dispose of the whole graph — the cluster transfer channel
+// reclaims a shipped copy after forwarding it — use the full list; there
+// is no other record of a graph's membership once it is live.
+func (s *Store) ActivateGraph(tok uint64, heap obj.AD) (obj.AD, []obj.AD, error) {
 	img, ok := s.files[tok]
 	if !ok {
-		return obj.NilAD, ErrNoSuchFile
+		return obj.NilAD, nil, ErrNoSuchFile
 	}
 	if len(img) < 12 {
-		return obj.NilAD, ErrCorrupt
+		return obj.NilAD, nil, ErrCorrupt
 	}
 	body, sum := img[:len(img)-4], binary.LittleEndian.Uint32(img[len(img)-4:])
 	if crc32.ChecksumIEEE(body) != sum {
-		return obj.NilAD, ErrCorrupt
+		return obj.NilAD, nil, ErrCorrupt
 	}
 	r := reader{b: body}
 	if r.u32() != fileMagic {
-		return obj.NilAD, ErrCorrupt
+		return obj.NilAD, nil, ErrCorrupt
 	}
 	count := int(r.u32())
+	if count == 0 {
+		return obj.NilAD, nil, fmt.Errorf("%w: zero object count", ErrCorrupt)
+	}
+	// The count field is attacker-controlled 32-bit input; clamp it
+	// against what the remaining bytes could possibly encode before any
+	// allocation trusts it.
+	if max := r.remaining() / objMinEncoded; count > max {
+		return obj.NilAD, nil, fmt.Errorf("%w: count %d exceeds image capacity %d", ErrCorrupt, count, max)
+	}
 
 	type pending struct {
 		ad    obj.AD
 		slots []uint32
 	}
 	objs := make([]pending, 0, count)
+	// unwind reclaims everything created so far, newest first, so a
+	// failed activation leaks neither objects nor SRO claim.
+	unwind := func(err error) (obj.AD, []obj.AD, error) {
+		for i := len(objs) - 1; i >= 0; i-- {
+			_ = s.SROs.Reclaim(objs[i].ad.Index)
+		}
+		return obj.NilAD, nil, err
+	}
 	for i := 0; i < count; i++ {
 		typ := obj.Type(r.u8())
 		name := string(r.bytes(int(r.u16())))
 		dataLen := r.u32()
 		data := r.bytes(int(dataLen))
 		slots := r.u32()
+		if int64(slots)*4 > int64(r.remaining()) {
+			return unwind(fmt.Errorf("%w: object %d claims %d slots beyond the image", ErrCorrupt, i, slots))
+		}
 		refs := make([]uint32, slots)
 		for j := range refs {
 			refs[j] = r.u32()
 		}
 		if r.err != nil {
-			return obj.NilAD, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+			return unwind(fmt.Errorf("%w: %v", ErrCorrupt, r.err))
+		}
+		if typ != obj.TypeGeneric {
+			// Privileged hardware types (SRO, TDO, port, process, …)
+			// carry authority the processor grants only through its own
+			// create paths; rebuilding one from stored bytes would mint
+			// that authority. User-typed objects re-enter through the
+			// registry below — as generic instances of the live TDO.
+			return unwind(fmt.Errorf("%w: object %d stored as %v", ErrPrivilegedType, i, typ))
 		}
 		spec := obj.CreateSpec{Type: typ, DataLen: dataLen, AccessSlots: slots}
 		if name != "" {
 			tdo, ok := s.types[name]
 			if !ok {
-				return obj.NilAD, fmt.Errorf("%w: %q", ErrUnboundType, name)
+				return unwind(fmt.Errorf("%w: %q", ErrUnboundType, name))
 			}
 			spec.UserType = tdo.Index
 		}
 		ad, f := s.SROs.Create(heap, spec)
 		if f != nil {
-			return obj.NilAD, f
-		}
-		if dataLen > 0 {
-			if f := s.Table.WriteBytes(ad, 0, data); f != nil {
-				return obj.NilAD, f
-			}
+			return unwind(f)
 		}
 		objs = append(objs, pending{ad: ad, slots: refs})
+		if dataLen > 0 {
+			if f := s.Table.WriteBytes(ad, 0, data); f != nil {
+				return unwind(f)
+			}
+		}
 	}
 	// Second pass: rebuild the edges.
 	for _, p := range objs {
@@ -240,15 +337,63 @@ func (s *Store) Activate(tok uint64, heap obj.AD) (obj.AD, error) {
 				continue
 			}
 			if int(enc-1) >= len(objs) {
-				return obj.NilAD, ErrCorrupt
+				return unwind(fmt.Errorf("%w: edge to object %d of %d", ErrCorrupt, enc-1, len(objs)))
 			}
 			if f := s.Table.StoreAD(p.ad, uint32(slot), objs[enc-1].ad); f != nil {
-				return obj.NilAD, f
+				return unwind(f)
 			}
 		}
 	}
 	s.ActivatedObjects += uint64(len(objs))
-	return objs[0].ad, nil
+	ads := make([]obj.AD, len(objs))
+	for i, p := range objs {
+		ads[i] = p.ad
+	}
+	return objs[0].ad, ads, nil
+}
+
+// Export returns a copy of the stored image bytes: the wire form of a
+// passivated graph. The image is self-checking (magic + CRC), so a peer
+// volume can Import it and detect transit damage on its own.
+func (s *Store) Export(tok uint64) ([]byte, error) {
+	img, ok := s.files[tok]
+	if !ok {
+		return nil, ErrNoSuchFile
+	}
+	out := make([]byte, len(img))
+	copy(out, img)
+	return out, nil
+}
+
+// Import installs an image produced by Export (possibly on another
+// volume) and returns its local token. The checksum and magic are
+// verified on the way in, so wire damage surfaces at the boundary; the
+// image is copied, never aliased to the caller's buffer.
+func (s *Store) Import(img []byte) (uint64, error) {
+	if len(img) < 12 {
+		return 0, ErrCorrupt
+	}
+	body, sum := img[:len(img)-4], binary.LittleEndian.Uint32(img[len(img)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return 0, ErrCorrupt
+	}
+	if binary.LittleEndian.Uint32(img) != fileMagic {
+		return 0, ErrCorrupt
+	}
+	cp := make([]byte, len(img))
+	copy(cp, img)
+	tok := s.next
+	s.next++
+	s.files[tok] = cp
+	s.FiledBytes += uint64(len(cp))
+	return tok, nil
+}
+
+// Has reports whether the volume currently holds the token. Tokens are
+// never reused, so Has answers "is this exact image still here".
+func (s *Store) Has(tok uint64) bool {
+	_, ok := s.files[tok]
+	return ok
 }
 
 // Delete removes a filed image.
@@ -284,11 +429,13 @@ type reader struct {
 	err error
 }
 
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
 func (r *reader) take(n int) []byte {
 	if r.err != nil {
 		return nil
 	}
-	if r.off+n > len(r.b) {
+	if n < 0 || r.off+n > len(r.b) {
 		r.err = fmt.Errorf("truncated at offset %d", r.off)
 		return nil
 	}

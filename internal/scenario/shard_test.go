@@ -1,0 +1,229 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/workload"
+)
+
+func shardTestConfig(nodes, sessions int) ShardConfig {
+	return ShardConfig{
+		Name:               "shard-test",
+		Seed:               42,
+		Nodes:              nodes,
+		Sessions:           sessions,
+		RequestsPerSession: 2,
+		MigratePermille:    300,
+		Processors:         2,
+		MeanGap:            400,
+		ThinkMean:          4_000,
+		Classes: []Class{
+			{
+				Name: "interactive", Weight: 3, Servers: 4,
+				Priority: 12, TimeSlice: 3_000,
+				Spec: workload.ServerSpec{Demand: 30, Touches: 2},
+			},
+			{
+				Name: "batch", Weight: 1, Servers: 2,
+				Priority: 3, TimeSlice: 8_000,
+				Spec: workload.ServerSpec{Demand: 300, Touches: 4, DomainCalls: 1},
+			},
+		},
+	}
+}
+
+func runShard(t *testing.T, cfg ShardConfig) (*ShardEngine, *ShardResult) {
+	t.Helper()
+	e, err := NewShard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, r
+}
+
+func TestShardRunCompletes(t *testing.T) {
+	e, r := runShard(t, shardTestConfig(2, 60))
+	if r.Completed+r.Censored != r.Issued {
+		t.Fatalf("accounting leak: %d completed + %d censored != %d issued",
+			r.Completed, r.Censored, r.Issued)
+	}
+	if r.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if r.Censored != 0 {
+		t.Fatalf("%d requests censored in an unloaded run", r.Censored)
+	}
+	if r.MigratedIssued == 0 {
+		t.Fatal("no request migrated at 300 permille")
+	}
+	if r.MigratedCompleted != r.MigratedIssued {
+		t.Fatalf("%d of %d migrated requests completed", r.MigratedCompleted, r.MigratedIssued)
+	}
+	// Every migrated request is one request graph out and one reply
+	// graph back, each of exactly one object.
+	if r.WireMsgs != 2*r.MigratedIssued {
+		t.Fatalf("wire carried %d messages for %d migrations", r.WireMsgs, r.MigratedIssued)
+	}
+	if r.FailedActivations != 0 {
+		t.Fatalf("%d failed activations", r.FailedActivations)
+	}
+	if vs := e.CheckTransfers(); len(vs) > 0 {
+		t.Fatalf("transfer accounting violated after run: %v", vs)
+	}
+	for ni, n := range e.Cluster.Nodes {
+		if n.IM.Files.Files() != 0 {
+			t.Fatalf("node %d volume still holds %d images", ni, n.IM.Files.Files())
+		}
+		audit.Check(t, n.IM.System)
+	}
+	// Per-node served counts must sum to the cluster total.
+	var served uint64
+	for _, nr := range r.PerNode {
+		served += nr.Served
+	}
+	if served != r.Completed {
+		t.Fatalf("per-node served %d != completed %d", served, r.Completed)
+	}
+}
+
+func TestShardDeterminism(t *testing.T) {
+	_, r1 := runShard(t, shardTestConfig(3, 80))
+	_, r2 := runShard(t, shardTestConfig(3, 80))
+	if r1.Fingerprint() != r2.Fingerprint() {
+		j1, _ := r1.CanonicalJSON()
+		j2, _ := r2.CanonicalJSON()
+		t.Fatalf("same config, different results:\n%s\nvs\n%s", j1, j2)
+	}
+}
+
+func TestShardSingleNodeNeverMigrates(t *testing.T) {
+	cfg := shardTestConfig(1, 40)
+	cfg.MigratePermille = 1000
+	_, r := runShard(t, cfg)
+	if r.MigratedIssued != 0 || r.WireMsgs != 0 {
+		t.Fatalf("single node migrated: %d requests, %d wire msgs", r.MigratedIssued, r.WireMsgs)
+	}
+	if r.Completed != r.Issued {
+		t.Fatalf("%d of %d completed", r.Completed, r.Issued)
+	}
+}
+
+// TestShardMigrationWitness runs a fully-migrating population and checks
+// the byte-level service witness: each completed request increments each
+// touched dword of the *canonical* session object by exactly one, so the
+// copy-out, remote service, and copy-back pipeline must deliver exactly
+// the same bytes a local run would.
+func TestShardMigrationWitness(t *testing.T) {
+	cfg := ShardConfig{
+		Name:               "shard-witness",
+		Seed:               7,
+		Nodes:              2,
+		Sessions:           10,
+		RequestsPerSession: 3,
+		MigratePermille:    1000, // every request served off-home
+		Processors:         2,
+		MeanGap:            2_000,
+		ThinkMean:          3_000,
+		Classes: []Class{{
+			Name: "only", Weight: 1, Servers: 3,
+			Priority: 10, TimeSlice: 3_000,
+			Spec: workload.ServerSpec{Demand: 20, Touches: 2},
+		}},
+	}
+	e, r := runShard(t, cfg)
+	if r.Completed != r.Issued || r.Censored != 0 {
+		t.Fatalf("run did not drain: %+v", r)
+	}
+	if r.MigratedIssued != r.Issued {
+		t.Fatalf("only %d of %d requests migrated at 1000 permille", r.MigratedIssued, r.Issued)
+	}
+	for i := range e.sessions {
+		s := &e.sessions[i]
+		im := e.Cluster.Nodes[s.Home].IM
+		for w := uint32(0); w < 2; w++ {
+			v, f := im.Table.ReadDWord(s.Obj, w*4)
+			if f != nil {
+				t.Fatal(f)
+			}
+			if v != uint32(s.Completed) {
+				t.Fatalf("session %d dword %d = %d, want %d: migrated service lost updates",
+					i, w, v, s.Completed)
+			}
+		}
+	}
+	if vs := e.CheckTransfers(); len(vs) > 0 {
+		t.Fatalf("transfer accounting violated: %v", vs)
+	}
+}
+
+// TestShardSoakCrossNodeAccounting audits the transfer ledger at every
+// lockstep boundary of a busier run — single ownership of every
+// passivated graph and passivation/activation reconciliation must hold
+// mid-flight, not just at the end — and closes with the full per-node
+// kernel audit.
+func TestShardSoakCrossNodeAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipped in -short")
+	}
+	cfg := shardTestConfig(3, 240)
+	cfg.MigratePermille = 500
+	cfg.RequestsPerSession = 3
+	e, err := NewShard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := 0
+	e.StepHook = func(e *ShardEngine) {
+		if vs := e.CheckTransfers(); len(vs) > 0 {
+			t.Fatalf("transfer accounting violated mid-run at %v: %v", e.now, vs)
+		}
+		checks++
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checks == 0 {
+		t.Fatal("step hook never ran")
+	}
+	if r.Completed+r.Censored != r.Issued {
+		t.Fatalf("accounting leak: %+v", r)
+	}
+	if r.MigratedCompleted == 0 {
+		t.Fatal("soak migrated nothing")
+	}
+	if vs := e.CheckTransfers(); len(vs) > 0 {
+		t.Fatalf("transfer accounting violated at end: %v", vs)
+	}
+	for ni, n := range e.Cluster.Nodes {
+		audit.Check(t, n.IM.System)
+		if n.IM.Files.Files() != 0 {
+			t.Fatalf("node %d volume still holds %d images after drain", ni, n.IM.Files.Files())
+		}
+	}
+}
+
+// TestShardScaleOut is the acceptance property behind BENCH_shard.json:
+// the same saturating arrival schedule completes at materially higher
+// aggregate throughput on four nodes than on one.
+func TestShardScaleOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale-out: skipped in -short")
+	}
+	sessions := 600
+	_, r1 := runShard(t, ShardPreset(1, sessions, 42))
+	_, r4 := runShard(t, ShardPreset(4, sessions, 42))
+	if r1.Completed != r1.Issued || r4.Completed != r4.Issued {
+		t.Fatalf("runs did not drain: 1n %d/%d, 4n %d/%d",
+			r1.Completed, r1.Issued, r4.Completed, r4.Issued)
+	}
+	if r4.AggregateRPS < 2*r1.AggregateRPS {
+		t.Fatalf("4 nodes = %.0f rps, 1 node = %.0f rps: scale-out under 2x",
+			r4.AggregateRPS, r1.AggregateRPS)
+	}
+}
