@@ -6,7 +6,7 @@
 // Usage:
 //
 //	imax [-cpus N] [-mem BYTES] [-swapping] [-gc] [-hostpar] [-noxcache]
-//	     [-demo NAME] [-trace] [-audit] [-itrace N] [-inspect]
+//	     [-notrace] [-demo NAME] [-trace] [-audit] [-itrace N] [-inspect]
 //	imax -inject SEED
 //
 // Demos: ports (default), compute, gc, io.
@@ -49,6 +49,7 @@ func main() {
 	gcOn := flag.Bool("gc", true, "run the on-the-fly collector daemon")
 	hostpar := flag.Bool("hostpar", false, "run each simulated processor's quantum on its own host goroutine (results identical to serial)")
 	noxcache := flag.Bool("noxcache", false, "disable the per-processor execution cache (results identical either way)")
+	notrace := flag.Bool("notrace", false, "disable the profile-guided trace compiler over the execution cache (results identical either way)")
 	demo := flag.String("demo", "ports", "workload: ports | compute | gc | io")
 	inspectFlag := flag.Bool("inspect", false, "dump the object population after the workload")
 	traceFlag := flag.Bool("trace", false, "enable the kernel event log; print counters and tail at exit")
@@ -78,6 +79,7 @@ func main() {
 		Trace:        *traceFlag,
 		HostParallel: *hostpar,
 		NoExecCache:  *noxcache,
+		NoTraceJIT:   *notrace,
 	})
 	if err != nil {
 		log.Fatal(err)

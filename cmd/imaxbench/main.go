@@ -12,10 +12,15 @@
 //	imaxbench -bench-pr2 OUT.json  host-parallel backend smoke benchmark
 //	imaxbench -bench-pr3 OUT.json  execution-cache benchmark (backend × cache)
 //	imaxbench -bench-pr5 OUT.json  scoped-invalidation + affinity benchmark
+//	imaxbench -bench-pr8 OUT.json  trace-compiler benchmark (six corners,
+//	                               ≥3x and 0-alloc gates)
 //	imaxbench -bench-scale OUT.json [-scale-sessions N] [-scale-det]
 //	                               open-loop scale scenarios (SLO percentiles)
 //	imaxbench -bench-shard OUT.json [-shard-sessions N] [-shard-det]
 //	                               sharded multi-kernel scale-out benchmark
+//	imaxbench -perf-track DIR [-perf-baseline DIR2] [-perf-tolerance F]
+//	                               fail if fresh BENCH_*.json in DIR regress
+//	                               >F (default 0.10) vs committed baselines
 //	imaxbench -cpuprofile CPU.pprof -memprofile MEM.pprof ...
 package main
 
@@ -42,6 +47,10 @@ func run() int {
 	benchPR2 := flag.String("bench-pr2", "", "run the host-parallel smoke benchmark and write the JSON report here")
 	benchPR3 := flag.String("bench-pr3", "", "run the execution-cache benchmark and write the JSON report here")
 	benchPR5 := flag.String("bench-pr5", "", "run the scoped-invalidation/affinity benchmark and write the JSON report here")
+	benchPR8 := flag.String("bench-pr8", "", "run the trace-compiler six-corner benchmark and write the JSON report here")
+	perfTrack := flag.String("perf-track", "", "directory of freshly generated BENCH_*.json to judge against committed baselines")
+	perfBaseline := flag.String("perf-baseline", ".", "directory of committed BENCH_*.json baselines for -perf-track")
+	perfTolerance := flag.Float64("perf-tolerance", 0, "allowed fractional regression for -perf-track (0 = default 0.10)")
 	benchScale := flag.String("bench-scale", "", "run the open-loop scale scenarios and write the JSON report here")
 	scaleSessions := flag.Int("scale-sessions", 100_000, "headline session population for -bench-scale")
 	scaleDet := flag.Bool("scale-det", false, "zero host wall-clock fields in -bench-scale for byte-comparable artifacts")
@@ -167,6 +176,62 @@ func run() int {
 			}
 		}
 		fmt.Println("report:", *benchPR5)
+		return 0
+	}
+
+	if *benchPR8 != "" {
+		rep, err := experiments.BenchPR8(*benchPR8, 3)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "imaxbench:", err)
+			return 1
+		}
+		fmt.Printf("bench-pr8: host %d cpus, GOMAXPROCS %d, degenerate=%v (%s)\n",
+			rep.HostCPUs, rep.GOMAXPROCS, rep.Degenerate, rep.GoVersion)
+		warnSingleCPU(rep.GOMAXPROCS)
+		fmt.Printf("  alloc probe: %d steady-state instructions, %d mallocs (%.6f allocs/op)\n",
+			rep.TraceProbeInstrs, rep.TraceSteadyMallocs, rep.TraceAllocsPerOp)
+		for _, r := range rep.Runs {
+			fmt.Printf("  %-22s %d cpus, %2d workers:\n", r.Workload, r.Processors, r.Workers)
+			fmt.Printf("    serial   nocache %8.2fms, cache %8.2fms, trace %8.2fms: trace speedup %.2fx (total %.2fx)\n",
+				float64(r.SerialNocacheNs)/1e6, float64(r.SerialCacheNs)/1e6, float64(r.SerialTraceNs)/1e6,
+				r.TraceSpeedupSerial, r.TotalSpeedupSerial)
+			fmt.Printf("    parallel nocache %8.2fms, cache %8.2fms, trace %8.2fms: trace speedup %.2fx\n",
+				float64(r.ParallelNocacheNs)/1e6, float64(r.ParallelCacheNs)/1e6, float64(r.ParallelTraceNs)/1e6,
+				r.TraceSpeedupParallel)
+			fmt.Printf("    traces: %d compiled (%d fused ops), %d entries / %d instructions, %d deopts, %d exits\n",
+				r.TraceCompiled, r.TraceFusedOps, r.TraceEntries, r.TraceInstrs, r.TraceDeopts, r.TraceExits)
+			if !r.ResultsEqual {
+				fmt.Fprintf(os.Stderr, "imaxbench: %s: corner results diverged\n", r.Workload)
+				return 1
+			}
+		}
+		fmt.Println("report:", *benchPR8)
+		return 0
+	}
+
+	if *perfTrack != "" {
+		rep, err := experiments.PerfTrack(*perfBaseline, *perfTrack, *perfTolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "imaxbench:", err)
+			return 1
+		}
+		fmt.Printf("perf-track: baselines %s, fresh %s, tolerance %.0f%%\n",
+			rep.BaselineDir, rep.FreshDir, 100*rep.Tolerance)
+		for _, m := range rep.Metrics {
+			switch {
+			case !m.HasFresh:
+				fmt.Printf("  %-42s baseline %10.2f  (no fresh artifact — not judged)\n", m.Key, m.Baseline)
+			case m.Regressed:
+				fmt.Printf("  %-42s baseline %10.2f  fresh %10.2f  REGRESSED\n", m.Key, m.Baseline, m.Fresh)
+			default:
+				fmt.Printf("  %-42s baseline %10.2f  fresh %10.2f  ok\n", m.Key, m.Baseline, m.Fresh)
+			}
+		}
+		if rep.Regressions > 0 {
+			fmt.Fprintf(os.Stderr, "imaxbench: perf-track: %d tracked metric(s) regressed beyond %.0f%%\n",
+				rep.Regressions, 100*rep.Tolerance)
+			return 1
+		}
 		return 0
 	}
 

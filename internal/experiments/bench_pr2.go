@@ -19,11 +19,7 @@ package experiments
 // host's fault, not the backend's.
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
-	"runtime"
-	"time"
 
 	"repro/internal/gdp"
 	"repro/internal/isa"
@@ -54,10 +50,8 @@ type BenchPR2Run struct {
 
 // BenchPR2Report is the JSON artifact written by imaxbench -bench-pr2.
 type BenchPR2Report struct {
-	HostCPUs   int           `json:"host_cpus"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	GoVersion  string        `json:"go_version"`
-	Runs       []BenchPR2Run `json:"runs"`
+	HostInfo
+	Runs []BenchPR2Run `json:"runs"`
 }
 
 // BenchPR2 runs both workloads under both backends (best of `reps` host
@@ -66,16 +60,12 @@ func BenchPR2(path string, reps int) (*BenchPR2Report, error) {
 	if reps <= 0 {
 		reps = 3
 	}
-	rep := &BenchPR2Report{
-		HostCPUs:   runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		GoVersion:  runtime.Version(),
-	}
+	rep := &BenchPR2Report{HostInfo: hostInfo()}
 	type workload struct {
 		name       string
 		processors int
 		workers    int
-		run        func(hostpar bool) (vtime.Cycles, uint64, gdp.ParStats, error)
+		run        func(hostpar bool) (vtime.Cycles, uint64, benchStats, error)
 	}
 	const (
 		computeCPUs    = 6
@@ -83,12 +73,15 @@ func BenchPR2(path string, reps int) (*BenchPR2Report, error) {
 		computeIters   = 50_000
 		pingpongMsgs   = 3_000
 	)
+	// notrace=true throughout: this artifact's corners predate the trace
+	// compiler and keep measuring the PR 3/5 per-instruction fast path;
+	// BENCH_pr8.json owns the trace corner.
 	workloads := []workload{
-		{"e3-compute", computeCPUs, computeWorkers, func(hostpar bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
-			return benchCompute(computeCPUs, computeWorkers, computeIters, hostpar, false)
+		{"e3-compute", computeCPUs, computeWorkers, func(hostpar bool) (vtime.Cycles, uint64, benchStats, error) {
+			return benchCompute(computeCPUs, computeWorkers, computeIters, hostpar, false, true)
 		}},
-		{"e12-pingpong", 2, 2, func(hostpar bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
-			return benchPingPong(pingpongMsgs, hostpar, false)
+		{"e12-pingpong", 2, 2, func(hostpar bool) (vtime.Cycles, uint64, benchStats, error) {
+			return benchPingPong(pingpongMsgs, hostpar, false, true)
 		}},
 	}
 	for _, w := range workloads {
@@ -97,9 +90,8 @@ func BenchPR2(path string, reps int) (*BenchPR2Report, error) {
 		var serSum, parSum uint64
 		var ps gdp.ParStats
 		for i := 0; i < reps; i++ {
-			t0 := time.Now()
-			cy, sum, _, err := w.run(false)
-			d := time.Since(t0).Nanoseconds()
+			cy, sum, st, err := w.run(false)
+			d := st.RunNs
 			if err != nil {
 				return nil, fmt.Errorf("%s serial: %w", w.name, err)
 			}
@@ -108,16 +100,15 @@ func BenchPR2(path string, reps int) (*BenchPR2Report, error) {
 			}
 			serCy, serSum = cy, sum
 
-			t0 = time.Now()
-			cy, sum, st, err := w.run(true)
-			d = time.Since(t0).Nanoseconds()
+			cy, sum, st, err = w.run(true)
+			d = st.RunNs
 			if err != nil {
 				return nil, fmt.Errorf("%s parallel: %w", w.name, err)
 			}
 			if i == 0 || d < parNs {
 				parNs = d
 			}
-			parCy, parSum, ps = cy, sum, st
+			parCy, parSum, ps = cy, sum, st.Par
 		}
 		if serCy != parCy {
 			return nil, fmt.Errorf("%s: virtual time diverged: serial %d vs parallel %d", w.name, serCy, parCy)
@@ -137,12 +128,7 @@ func BenchPR2(path string, reps int) (*BenchPR2Report, error) {
 			ParAborts:     ps.Aborts,
 		})
 	}
-	out, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, '\n')
-	if err := os.WriteFile(path, out, 0o644); err != nil {
+	if err := writeReport(path, rep); err != nil {
 		return nil, err
 	}
 	return rep, nil
@@ -152,16 +138,16 @@ func BenchPR2(path string, reps int) (*BenchPR2Report, error) {
 // run-to-completion workers (no time slice, so no per-epoch dispatch-port
 // writes) spread over several processors. The returned sum folds every
 // worker's result so the backends can be compared.
-func benchCompute(cpus, workers int, iters uint32, hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
-	sys, err := gdp.New(gdp.Config{Processors: cpus, HostParallel: hostpar, NoExecCache: nocache})
+func benchCompute(cpus, workers int, iters uint32, hostpar, nocache, notrace bool) (vtime.Cycles, uint64, benchStats, error) {
+	sys, err := gdp.New(gdp.Config{Processors: cpus, HostParallel: hostpar, NoExecCache: nocache, NoTraceJIT: notrace})
 	if err != nil {
-		return 0, 0, gdp.ParStats{}, err
+		return 0, 0, benchStats{}, err
 	}
 	results := make([]obj.AD, workers)
 	for i := range results {
 		r, f := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
 		if f != nil {
-			return 0, 0, gdp.ParStats{}, f
+			return 0, 0, benchStats{}, f
 		}
 		dom, f := makeDomain(sys, []isa.Instr{
 			isa.MovI(1, iters+uint32(i)),
@@ -173,48 +159,50 @@ func benchCompute(cpus, workers int, iters uint32, hostpar, nocache bool) (vtime
 			isa.Halt(),
 		})
 		if f != nil {
-			return 0, 0, gdp.ParStats{}, f
+			return 0, 0, benchStats{}, f
 		}
 		if _, f := sys.Spawn(dom, gdp.SpawnSpec{AArgs: [4]obj.AD{r}}); f != nil {
-			return 0, 0, gdp.ParStats{}, f
+			return 0, 0, benchStats{}, f
 		}
 		results[i] = r
 	}
-	elapsed, f := sys.Run(0)
+	elapsed, runNs, f := timedRun(sys)
 	if f != nil {
-		return 0, 0, gdp.ParStats{}, f
+		return 0, 0, benchStats{}, f
 	}
 	var sum uint64
 	for _, r := range results {
 		v, f := sys.Table.ReadDWord(r, 0)
 		if f != nil {
-			return 0, 0, gdp.ParStats{}, f
+			return 0, 0, benchStats{}, f
 		}
 		sum += uint64(v)
 	}
-	return elapsed, sum, sys.ParStats(), nil
+	st := statsOf(sys)
+	st.RunNs = runNs
+	return elapsed, sum, st, nil
 }
 
 // benchPingPong is the E12 blocking shape on two processors: every epoch
 // communicates, so the parallel backend should conflict-and-replay its way
 // to the same result. The sum is the total of both processors' dispatch
 // counters — equal iff the replay really reproduced the serial run.
-func benchPingPong(msgs int, hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
-	sys, err := gdp.New(gdp.Config{Processors: 2, HostParallel: hostpar, NoExecCache: nocache})
+func benchPingPong(msgs int, hostpar, nocache, notrace bool) (vtime.Cycles, uint64, benchStats, error) {
+	sys, err := gdp.New(gdp.Config{Processors: 2, HostParallel: hostpar, NoExecCache: nocache, NoTraceJIT: notrace})
 	if err != nil {
-		return 0, 0, gdp.ParStats{}, err
+		return 0, 0, benchStats{}, err
 	}
 	ping, f := sys.Ports.Create(sys.Heap, 1, 0)
 	if f != nil {
-		return 0, 0, gdp.ParStats{}, f
+		return 0, 0, benchStats{}, f
 	}
 	pong, f := sys.Ports.Create(sys.Heap, 1, 0)
 	if f != nil {
-		return 0, 0, gdp.ParStats{}, f
+		return 0, 0, benchStats{}, f
 	}
 	ball, f := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
 	if f != nil {
-		return 0, 0, gdp.ParStats{}, f
+		return 0, 0, benchStats{}, f
 	}
 	player := func(starts bool) []isa.Instr {
 		prog := []isa.Instr{isa.MovI(4, uint32(msgs)), isa.MovI(5, 0)}
@@ -228,25 +216,27 @@ func benchPingPong(msgs int, hostpar, nocache bool) (vtime.Cycles, uint64, gdp.P
 	}
 	serveDom, f := makeDomain(sys, player(true))
 	if f != nil {
-		return 0, 0, gdp.ParStats{}, f
+		return 0, 0, benchStats{}, f
 	}
 	returnDom, f := makeDomain(sys, player(false))
 	if f != nil {
-		return 0, 0, gdp.ParStats{}, f
+		return 0, 0, benchStats{}, f
 	}
 	if _, f := sys.Spawn(serveDom, gdp.SpawnSpec{AArgs: [4]obj.AD{obj.NilAD, ball, pong, ping}}); f != nil {
-		return 0, 0, gdp.ParStats{}, f
+		return 0, 0, benchStats{}, f
 	}
 	if _, f := sys.Spawn(returnDom, gdp.SpawnSpec{AArgs: [4]obj.AD{obj.NilAD, obj.NilAD, ping, pong}}); f != nil {
-		return 0, 0, gdp.ParStats{}, f
+		return 0, 0, benchStats{}, f
 	}
-	elapsed, f := sys.Run(0)
+	elapsed, runNs, f := timedRun(sys)
 	if f != nil {
-		return 0, 0, gdp.ParStats{}, f
+		return 0, 0, benchStats{}, f
 	}
 	var disp uint64
 	for _, cpu := range sys.CPUs {
 		disp += cpu.Dispatches
 	}
-	return elapsed, disp, sys.ParStats(), nil
+	st := statsOf(sys)
+	st.RunNs = runNs
+	return elapsed, disp, st, nil
 }

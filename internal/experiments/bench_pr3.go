@@ -23,11 +23,7 @@ package experiments
 // backend's (BENCH_pr2.json was recorded on such a host).
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
-	"runtime"
-	"time"
 
 	"repro/internal/gdp"
 	"repro/internal/isa"
@@ -70,10 +66,8 @@ type BenchPR3Run struct {
 
 // BenchPR3Report is the JSON artifact written by imaxbench -bench-pr3.
 type BenchPR3Report struct {
-	HostCPUs   int           `json:"host_cpus"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	GoVersion  string        `json:"go_version"`
-	Runs       []BenchPR3Run `json:"runs"`
+	HostInfo
+	Runs []BenchPR3Run `json:"runs"`
 }
 
 // BenchPR3 runs every workload at all four corners (best of `reps` host
@@ -82,16 +76,12 @@ func BenchPR3(path string, reps int) (*BenchPR3Report, error) {
 	if reps <= 0 {
 		reps = 3
 	}
-	rep := &BenchPR3Report{
-		HostCPUs:   runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		GoVersion:  runtime.Version(),
-	}
+	rep := &BenchPR3Report{HostInfo: hostInfo()}
 	type workload struct {
 		name       string
 		processors int
 		workers    int
-		run        func(hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error)
+		run        func(hostpar, nocache bool) (vtime.Cycles, uint64, benchStats, error)
 	}
 	const (
 		computeCPUs    = 6
@@ -102,15 +92,17 @@ func BenchPR3(path string, reps int) (*BenchPR3Report, error) {
 		regloopWorkers = 8
 		regloopIters   = 20_000
 	)
+	// notrace=true throughout: the "cached" corners here are the PR 3/5
+	// per-instruction fast path; BENCH_pr8.json owns the trace corner.
 	workloads := []workload{
-		{"e3-compute", computeCPUs, computeWorkers, func(hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
-			return benchCompute(computeCPUs, computeWorkers, computeIters, hostpar, nocache)
+		{"e3-compute", computeCPUs, computeWorkers, func(hostpar, nocache bool) (vtime.Cycles, uint64, benchStats, error) {
+			return benchCompute(computeCPUs, computeWorkers, computeIters, hostpar, nocache, true)
 		}},
-		{"e12-pingpong", 2, 2, func(hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
-			return benchPingPong(pingpongMsgs, hostpar, nocache)
+		{"e12-pingpong", 2, 2, func(hostpar, nocache bool) (vtime.Cycles, uint64, benchStats, error) {
+			return benchPingPong(pingpongMsgs, hostpar, nocache, true)
 		}},
-		{"reg-loop", regloopCPUs, regloopWorkers, func(hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
-			return benchRegLoop(regloopCPUs, regloopWorkers, regloopIters, hostpar, nocache)
+		{"reg-loop", regloopCPUs, regloopWorkers, func(hostpar, nocache bool) (vtime.Cycles, uint64, benchStats, error) {
+			return benchRegLoop(regloopCPUs, regloopWorkers, regloopIters, hostpar, nocache, true)
 		}},
 	}
 	type corner struct {
@@ -129,9 +121,8 @@ func BenchPR3(path string, reps int) (*BenchPR3Report, error) {
 		var ps gdp.ParStats
 		for i := 0; i < reps; i++ {
 			for ci, c := range corners {
-				t0 := time.Now()
 				ccy, csum, st, err := w.run(c.hostpar, c.nocache)
-				d := time.Since(t0).Nanoseconds()
+				d := st.RunNs
 				if err != nil {
 					return nil, fmt.Errorf("%s hostpar=%v nocache=%v: %w", w.name, c.hostpar, c.nocache, err)
 				}
@@ -140,7 +131,7 @@ func BenchPR3(path string, reps int) (*BenchPR3Report, error) {
 				}
 				cy[ci], sum[ci] = ccy, csum
 				if c.hostpar && !c.nocache {
-					ps = st
+					ps = st.Par
 				}
 			}
 		}
@@ -174,12 +165,7 @@ func BenchPR3(path string, reps int) (*BenchPR3Report, error) {
 			ParCooldowns:         ps.Cooldowns,
 		})
 	}
-	out, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, '\n')
-	if err := os.WriteFile(path, out, 0o644); err != nil {
+	if err := writeReport(path, rep); err != nil {
 		return nil, err
 	}
 	return rep, nil
@@ -190,16 +176,16 @@ func BenchPR3(path string, reps int) (*BenchPR3Report, error) {
 // hits the pinned register window, so this is the fast path's best case.
 // The sum folds every worker's accumulator so the corners can be
 // compared.
-func benchRegLoop(cpus, workers int, iters uint32, hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
-	sys, err := gdp.New(gdp.Config{Processors: cpus, HostParallel: hostpar, NoExecCache: nocache})
+func benchRegLoop(cpus, workers int, iters uint32, hostpar, nocache, notrace bool) (vtime.Cycles, uint64, benchStats, error) {
+	sys, err := gdp.New(gdp.Config{Processors: cpus, HostParallel: hostpar, NoExecCache: nocache, NoTraceJIT: notrace})
 	if err != nil {
-		return 0, 0, gdp.ParStats{}, err
+		return 0, 0, benchStats{}, err
 	}
 	results := make([]obj.AD, workers)
 	for i := range results {
 		r, f := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
 		if f != nil {
-			return 0, 0, gdp.ParStats{}, f
+			return 0, 0, benchStats{}, f
 		}
 		dom, f := makeDomain(sys, []isa.Instr{
 			isa.MovI(1, iters+uint32(i)), // countdown
@@ -218,24 +204,26 @@ func benchRegLoop(cpus, workers int, iters uint32, hostpar, nocache bool) (vtime
 			isa.Halt(),
 		})
 		if f != nil {
-			return 0, 0, gdp.ParStats{}, f
+			return 0, 0, benchStats{}, f
 		}
 		if _, f := sys.Spawn(dom, gdp.SpawnSpec{AArgs: [4]obj.AD{r}}); f != nil {
-			return 0, 0, gdp.ParStats{}, f
+			return 0, 0, benchStats{}, f
 		}
 		results[i] = r
 	}
-	elapsed, f := sys.Run(0)
+	elapsed, runNs, f := timedRun(sys)
 	if f != nil {
-		return 0, 0, gdp.ParStats{}, f
+		return 0, 0, benchStats{}, f
 	}
 	var sum uint64
 	for _, r := range results {
 		v, f := sys.Table.ReadDWord(r, 0)
 		if f != nil {
-			return 0, 0, gdp.ParStats{}, f
+			return 0, 0, benchStats{}, f
 		}
 		sum += uint64(v)
 	}
-	return elapsed, sum, sys.ParStats(), nil
+	st := statsOf(sys)
+	st.RunNs = runNs
+	return elapsed, sum, st, nil
 }

@@ -29,11 +29,7 @@ package experiments
 // cache ratio within each backend.
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
-	"runtime"
-	"time"
 
 	"repro/internal/gdp"
 	"repro/internal/isa"
@@ -75,11 +71,7 @@ type BenchPR5Run struct {
 // host fields lead and Degenerate is always present: parallel wall-clock
 // ratios from a one-core host measure the host, not the backend.
 type BenchPR5Report struct {
-	HostCPUs   int    `json:"host_cpus"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	Degenerate bool   `json:"degenerate"`
-	GoVersion  string `json:"go_version"`
-
+	HostInfo
 	Runs []BenchPR5Run `json:"runs"`
 }
 
@@ -89,17 +81,12 @@ func BenchPR5(path string, reps int) (*BenchPR5Report, error) {
 	if reps <= 0 {
 		reps = 3
 	}
-	rep := &BenchPR5Report{
-		HostCPUs:   runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Degenerate: runtime.GOMAXPROCS(0) == 1,
-		GoVersion:  runtime.Version(),
-	}
+	rep := &BenchPR5Report{HostInfo: hostInfo()}
 	type workload struct {
 		name       string
 		processors int
 		workers    int
-		run        func(hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error)
+		run        func(hostpar, nocache bool) (vtime.Cycles, uint64, benchStats, error)
 	}
 	const (
 		computeCPUs    = 6
@@ -114,18 +101,20 @@ func BenchPR5(path string, reps int) (*BenchPR5Report, error) {
 		mixedIters     = 30_000
 		mixedMsgs      = 1_500
 	)
+	// notrace=true throughout: the "cached" corners here are the PR 3/5
+	// per-instruction fast path; BENCH_pr8.json owns the trace corner.
 	workloads := []workload{
-		{"e3-compute", computeCPUs, computeWorkers, func(hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
-			return benchCompute(computeCPUs, computeWorkers, computeIters, hostpar, nocache)
+		{"e3-compute", computeCPUs, computeWorkers, func(hostpar, nocache bool) (vtime.Cycles, uint64, benchStats, error) {
+			return benchCompute(computeCPUs, computeWorkers, computeIters, hostpar, nocache, true)
 		}},
-		{"e12-pingpong", 2, 2, func(hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
-			return benchPingPong(pingpongMsgs, hostpar, nocache)
+		{"e12-pingpong", 2, 2, func(hostpar, nocache bool) (vtime.Cycles, uint64, benchStats, error) {
+			return benchPingPong(pingpongMsgs, hostpar, nocache, true)
 		}},
-		{"reg-loop", regloopCPUs, regloopWorkers, func(hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
-			return benchRegLoop(regloopCPUs, regloopWorkers, regloopIters, hostpar, nocache)
+		{"reg-loop", regloopCPUs, regloopWorkers, func(hostpar, nocache bool) (vtime.Cycles, uint64, benchStats, error) {
+			return benchRegLoop(regloopCPUs, regloopWorkers, regloopIters, hostpar, nocache, true)
 		}},
-		{"mixed-compute-pingpong", mixedCPUs, mixedWorkers + 2, func(hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
-			return benchMixed(mixedCPUs, mixedWorkers, mixedIters, mixedMsgs, hostpar, nocache)
+		{"mixed-compute-pingpong", mixedCPUs, mixedWorkers + 2, func(hostpar, nocache bool) (vtime.Cycles, uint64, benchStats, error) {
+			return benchMixed(mixedCPUs, mixedWorkers, mixedIters, mixedMsgs, hostpar, nocache, true)
 		}},
 	}
 	type corner struct {
@@ -144,9 +133,8 @@ func BenchPR5(path string, reps int) (*BenchPR5Report, error) {
 		var ps gdp.ParStats
 		for i := 0; i < reps; i++ {
 			for ci, c := range corners {
-				t0 := time.Now()
 				ccy, csum, st, err := w.run(c.hostpar, c.nocache)
-				d := time.Since(t0).Nanoseconds()
+				d := st.RunNs
 				if err != nil {
 					return nil, fmt.Errorf("%s hostpar=%v nocache=%v: %w", w.name, c.hostpar, c.nocache, err)
 				}
@@ -155,7 +143,7 @@ func BenchPR5(path string, reps int) (*BenchPR5Report, error) {
 				}
 				cy[ci], sum[ci] = ccy, csum
 				if c.hostpar && !c.nocache {
-					ps = st
+					ps = st.Par
 				}
 			}
 		}
@@ -192,12 +180,7 @@ func BenchPR5(path string, reps int) (*BenchPR5Report, error) {
 			Regroups:             ps.Regroups,
 		})
 	}
-	out, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, '\n')
-	if err := os.WriteFile(path, out, 0o644); err != nil {
+	if err := writeReport(path, rep); err != nil {
 		return nil, err
 	}
 	return rep, nil
@@ -208,22 +191,22 @@ func BenchPR5(path string, reps int) (*BenchPR5Report, error) {
 // co-schedule the two communicating processors onto one fork (regroups > 0)
 // while the compute keeps committing around them. The sum folds the compute
 // results and the dispatch counters so the corners can be compared.
-func benchMixed(cpus, workers int, iters uint32, msgs int, hostpar, nocache bool) (vtime.Cycles, uint64, gdp.ParStats, error) {
-	sys, err := gdp.New(gdp.Config{Processors: cpus, HostParallel: hostpar, NoExecCache: nocache})
+func benchMixed(cpus, workers int, iters uint32, msgs int, hostpar, nocache, notrace bool) (vtime.Cycles, uint64, benchStats, error) {
+	sys, err := gdp.New(gdp.Config{Processors: cpus, HostParallel: hostpar, NoExecCache: nocache, NoTraceJIT: notrace})
 	if err != nil {
-		return 0, 0, gdp.ParStats{}, err
+		return 0, 0, benchStats{}, err
 	}
 	ping, f := sys.Ports.Create(sys.Heap, 1, 0)
 	if f != nil {
-		return 0, 0, gdp.ParStats{}, f
+		return 0, 0, benchStats{}, f
 	}
 	pong, f := sys.Ports.Create(sys.Heap, 1, 0)
 	if f != nil {
-		return 0, 0, gdp.ParStats{}, f
+		return 0, 0, benchStats{}, f
 	}
 	ball, f := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
 	if f != nil {
-		return 0, 0, gdp.ParStats{}, f
+		return 0, 0, benchStats{}, f
 	}
 	player := func(starts bool) []isa.Instr {
 		prog := []isa.Instr{isa.MovI(4, uint32(msgs)), isa.MovI(5, 0)}
@@ -237,23 +220,23 @@ func benchMixed(cpus, workers int, iters uint32, msgs int, hostpar, nocache bool
 	}
 	serveDom, f := makeDomain(sys, player(true))
 	if f != nil {
-		return 0, 0, gdp.ParStats{}, f
+		return 0, 0, benchStats{}, f
 	}
 	returnDom, f := makeDomain(sys, player(false))
 	if f != nil {
-		return 0, 0, gdp.ParStats{}, f
+		return 0, 0, benchStats{}, f
 	}
 	if _, f := sys.Spawn(serveDom, gdp.SpawnSpec{AArgs: [4]obj.AD{obj.NilAD, ball, pong, ping}}); f != nil {
-		return 0, 0, gdp.ParStats{}, f
+		return 0, 0, benchStats{}, f
 	}
 	if _, f := sys.Spawn(returnDom, gdp.SpawnSpec{AArgs: [4]obj.AD{obj.NilAD, obj.NilAD, ping, pong}}); f != nil {
-		return 0, 0, gdp.ParStats{}, f
+		return 0, 0, benchStats{}, f
 	}
 	results := make([]obj.AD, workers)
 	for i := range results {
 		r, f := sys.SROs.Create(sys.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 8})
 		if f != nil {
-			return 0, 0, gdp.ParStats{}, f
+			return 0, 0, benchStats{}, f
 		}
 		dom, f := makeDomain(sys, []isa.Instr{
 			isa.MovI(1, iters+uint32(i)),
@@ -265,27 +248,29 @@ func benchMixed(cpus, workers int, iters uint32, msgs int, hostpar, nocache bool
 			isa.Halt(),
 		})
 		if f != nil {
-			return 0, 0, gdp.ParStats{}, f
+			return 0, 0, benchStats{}, f
 		}
 		if _, f := sys.Spawn(dom, gdp.SpawnSpec{AArgs: [4]obj.AD{r}}); f != nil {
-			return 0, 0, gdp.ParStats{}, f
+			return 0, 0, benchStats{}, f
 		}
 		results[i] = r
 	}
-	elapsed, f := sys.Run(0)
+	elapsed, runNs, f := timedRun(sys)
 	if f != nil {
-		return 0, 0, gdp.ParStats{}, f
+		return 0, 0, benchStats{}, f
 	}
 	var sum uint64
 	for _, r := range results {
 		v, f := sys.Table.ReadDWord(r, 0)
 		if f != nil {
-			return 0, 0, gdp.ParStats{}, f
+			return 0, 0, benchStats{}, f
 		}
 		sum += uint64(v)
 	}
 	for _, cpu := range sys.CPUs {
 		sum += cpu.Dispatches
 	}
-	return elapsed, sum, sys.ParStats(), nil
+	st := statsOf(sys)
+	st.RunNs = runNs
+	return elapsed, sum, st, nil
 }

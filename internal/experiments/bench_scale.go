@@ -21,10 +21,7 @@ package experiments
 // compares them with cmp).
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
-	"runtime"
 	"time"
 
 	"repro/internal/scenario"
@@ -43,10 +40,7 @@ type BenchScaleRun struct {
 // BenchScaleReport is the JSON artifact written by imaxbench
 // -bench-scale (BENCH_scale.json).
 type BenchScaleReport struct {
-	HostCPUs   int    `json:"host_cpus"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	Degenerate bool   `json:"degenerate"`
-	GoVersion  string `json:"go_version"`
+	HostInfo
 
 	// Sessions is the headline population; the satellite scenarios run
 	// scaled-down fractions of it.
@@ -104,12 +98,9 @@ func BenchScale(path string, sessions int, det bool) (*BenchScaleReport, error) 
 		sessions = 100_000
 	}
 	rep := &BenchScaleReport{
-		HostCPUs:   runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Degenerate: runtime.GOMAXPROCS(0) == 1,
-		GoVersion:  runtime.Version(),
-		Sessions:   sessions,
-		Seed:       benchScaleSeed,
+		HostInfo: hostInfo(),
+		Sessions: sessions,
+		Seed:     benchScaleSeed,
 	}
 
 	frac := func(n, div, floor int) int {
@@ -162,12 +153,7 @@ func BenchScale(path string, sessions int, det bool) (*BenchScaleReport, error) 
 			rep.HeadlineFingerprint, again.Scenario.Fingerprint())
 	}
 
-	b, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	b = append(b, '\n')
-	if err := os.WriteFile(path, b, 0o644); err != nil {
+	if err := writeReport(path, rep); err != nil {
 		return nil, err
 	}
 	return rep, nil

@@ -16,10 +16,7 @@ package experiments
 // its own scale-out win is a regression, not a data point.
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
-	"runtime"
 	"time"
 
 	"repro/internal/scenario"
@@ -36,10 +33,7 @@ type BenchShardRun struct {
 // BenchShardReport is the JSON artifact written by imaxbench
 // -bench-shard (BENCH_shard.json).
 type BenchShardReport struct {
-	HostCPUs   int    `json:"host_cpus"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	Degenerate bool   `json:"degenerate"`
-	GoVersion  string `json:"go_version"`
+	HostInfo
 
 	Sessions int   `json:"sessions"`
 	Seed     int64 `json:"seed"`
@@ -89,12 +83,9 @@ func BenchShard(path string, sessions int, det bool) (*BenchShardReport, error) 
 		sessions = 20_000
 	}
 	rep := &BenchShardReport{
-		HostCPUs:   runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Degenerate: runtime.GOMAXPROCS(0) == 1,
-		GoVersion:  runtime.Version(),
-		Sessions:   sessions,
-		Seed:       benchShardSeed,
+		HostInfo: hostInfo(),
+		Sessions: sessions,
+		Seed:     benchShardSeed,
 	}
 	for _, nodes := range []int{1, 2, 4} {
 		run, err := benchShardOne(nodes, sessions, det)
@@ -125,12 +116,7 @@ func BenchShard(path string, sessions int, det bool) (*BenchShardReport, error) 
 			"(1n %.0f rps, 4n %.0f rps)", rep.Speedup4x1, one.AggregateRPS, four.AggregateRPS)
 	}
 
-	b, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	b = append(b, '\n')
-	if err := os.WriteFile(path, b, 0o644); err != nil {
+	if err := writeReport(path, rep); err != nil {
 		return nil, err
 	}
 	return rep, nil

@@ -9,8 +9,8 @@ import (
 // benchBound builds a single-processor system bound to an endless
 // register-heavy compute loop so execOne can be driven directly: the
 // per-instruction interpreter cost with no scheduling traffic in the way.
-func benchBound(tb testing.TB, nocache bool) *System {
-	s, err := New(Config{Processors: 1, NoExecCache: nocache})
+func benchBound(tb testing.TB, nocache, notrace bool) *System {
+	s, err := New(Config{Processors: 1, NoExecCache: nocache, NoTraceJIT: notrace})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -45,13 +45,30 @@ func benchBound(tb testing.TB, nocache bool) *System {
 	return s
 }
 
+// benchWarmTrace drives enough back edges through the cached fast path to
+// cross the hotness threshold and compile the loop, then verifies a trace
+// is installed.
+func benchWarmTrace(tb testing.TB, s *System) {
+	cpu := s.CPUs[0]
+	for i := 0; i < traceHotThreshold*8; i++ {
+		if _, f := s.execOne(cpu, 1); f != nil {
+			tb.Fatal(f)
+		}
+	}
+	if s.TraceStats().Compiled == 0 {
+		tb.Fatal("hot loop did not compile")
+	}
+}
+
 func benchExecOne(b *testing.B, nocache bool) {
-	s := benchBound(b, nocache)
+	// NoTraceJIT: these benchmarks measure the per-instruction paths the
+	// trace compiler is judged against (BenchmarkTraceLoop below).
+	s := benchBound(b, nocache, true)
 	cpu := s.CPUs[0]
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, f := s.execOne(cpu); f != nil {
+		if _, f := s.execOne(cpu, 1); f != nil {
 			b.Fatal(f)
 		}
 	}
@@ -66,24 +83,66 @@ func BenchmarkExecOneCached(b *testing.B) { benchExecOne(b, false) }
 // path is judged against.
 func BenchmarkExecOneUncached(b *testing.B) { benchExecOne(b, true) }
 
+// BenchmarkTraceLoop measures the compiled-trace runner on the same loop,
+// normalised per instruction (ns/instr) so it compares directly against
+// the per-instruction benchmarks above.
+func BenchmarkTraceLoop(b *testing.B) {
+	s := benchBound(b, false, false)
+	benchWarmTrace(b, s)
+	cpu := s.CPUs[0]
+	b.ReportAllocs()
+	start := s.Stats().Instructions
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, f := s.execOne(cpu, 5_000); f != nil {
+			b.Fatal(f)
+		}
+	}
+	b.StopTimer()
+	instrs := s.Stats().Instructions - start
+	if instrs > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instrs), "ns/instr")
+	}
+}
+
 // TestFastPathAllocFree pins the allocation contract: once the per-CPU
 // cache is primed, executing plain compute instructions allocates
 // nothing. A regression here silently hands the speedup back to the host
 // garbage collector.
 func TestFastPathAllocFree(t *testing.T) {
-	s := benchBound(t, false)
+	s := benchBound(t, false, true)
 	cpu := s.CPUs[0]
 	// The setup step primed the cache; one more call proves the path
 	// works before measuring.
-	if _, f := s.execOne(cpu); f != nil {
+	if _, f := s.execOne(cpu, 1); f != nil {
 		t.Fatal(f)
 	}
 	avg := testing.AllocsPerRun(2000, func() {
-		if _, f := s.execOne(cpu); f != nil {
+		if _, f := s.execOne(cpu, 1); f != nil {
 			t.Fatal(f)
 		}
 	})
 	if avg != 0 {
 		t.Fatalf("cached fast path allocates %.2f allocs/op; want 0", avg)
+	}
+}
+
+// TestTracePathAllocFree pins the trace runner's allocation contract: once
+// the hot loop is compiled, a full quantum-sized trace run — thousands of
+// fused instructions — allocates nothing.
+func TestTracePathAllocFree(t *testing.T) {
+	s := benchBound(t, false, false)
+	benchWarmTrace(t, s)
+	cpu := s.CPUs[0]
+	avg := testing.AllocsPerRun(200, func() {
+		if _, f := s.execOne(cpu, 5_000); f != nil {
+			t.Fatal(f)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("trace fast path allocates %.2f allocs/op; want 0", avg)
+	}
+	if st := s.TraceStats(); st.Instructions == 0 || st.Entries == 0 {
+		t.Fatalf("trace runner never ran: %+v", st)
 	}
 }

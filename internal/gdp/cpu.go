@@ -24,6 +24,12 @@ type CPU struct {
 	// table's cache generation. Lazily allocated, reused across primes.
 	xc *execCache
 
+	// xst is the trace runner's scratch state (trace.go), pooled here so
+	// a trace run allocates nothing. Every field is re-initialised at run
+	// entry, so the copies the epoch driver makes of CPU structs are
+	// harmless.
+	xst xstate
+
 	// Per-CPU stats.
 	Dispatches   uint64
 	Instructions uint64

@@ -281,7 +281,15 @@ func (s *System) stepVM(cpu *CPU, quantum vtime.Cycles) *obj.Fault {
 		if s.spec != nil && s.specDead() {
 			return nil
 		}
-		spent, f := s.execOne(cpu)
+		// The cycle allowance for this call: a compiled trace may retire
+		// many instructions in one execOne and must stop after the
+		// instruction that crosses the quantum budget or the time slice —
+		// the same crossing this loop detects per instruction.
+		limit := budget
+		if cpu.sliceLeft > 0 && cpu.sliceLeft < limit {
+			limit = cpu.sliceLeft
+		}
+		spent, f := s.execOne(cpu, limit)
 		if f != nil {
 			if df := s.deliverFault(cpu, cpu.proc, f); df != nil {
 				return df
@@ -312,13 +320,17 @@ func (s *System) stepVM(cpu *CPU, quantum vtime.Cycles) *obj.Fault {
 	return nil
 }
 
-// execOne fetches, decodes and executes a single instruction of the bound
-// process, charging its cost to the processor clock. A returned fault is
-// the process's, not the system's. The cached fast path (xcache.go) runs
-// whenever the per-CPU execution cache is current; anything it cannot
-// prove safe falls through — with machine state untouched — to the slow
-// path, which re-derives the full resolution chain.
-func (s *System) execOne(cpu *CPU) (vtime.Cycles, *obj.Fault) {
+// execOne fetches, decodes and executes at least one instruction of the
+// bound process, charging its cost to the processor clock. A returned
+// fault is the process's, not the system's. The cached fast path
+// (xcache.go) runs whenever the per-CPU execution cache is current;
+// anything it cannot prove safe falls through — with machine state
+// untouched — to the slow path, which re-derives the full resolution
+// chain. When a compiled trace (trace.go) is entered, one call retires a
+// whole run of fused instructions, stopping after the instruction that
+// crosses limit — the caller's remaining cycle allowance — exactly where
+// the per-instruction loop would have stopped.
+func (s *System) execOne(cpu *CPU, limit vtime.Cycles) (vtime.Cycles, *obj.Fault) {
 	if s.inj != nil && s.instructions >= s.inj.NextAt() {
 		// Fault injection fires between instructions: the due event acts
 		// on the machine before the next instruction executes, and a
@@ -334,7 +346,7 @@ func (s *System) execOne(cpu *CPU) (vtime.Cycles, *obj.Fault) {
 			return 0, nil
 		}
 	}
-	if spent, f, ok := s.execOneFast(cpu); ok {
+	if spent, f, ok := s.execOneFast(cpu, limit); ok {
 		return spent, f
 	}
 	return s.execOneSlow(cpu)

@@ -168,6 +168,7 @@ func (s *System) buildForks() {
 			deadline:     s.deadline,
 			deadlineBase: s.deadlineBase,
 			xcOff:        s.xcOff,
+			trOff:        s.trOff,
 			spec:         &specCtl{},
 		}
 		fs.Domains = domain.NewEpochManager(ftab, fsro, s.Domains)
@@ -203,9 +204,15 @@ func (fk *epochFork) begin(s *System, members []int, tr *trace.Log) {
 	}
 	fs.busyThisStep = s.busyThisStep
 	fs.dispatches, fs.preemptions, fs.faultsSent, fs.instructions = 0, 0, 0, 0
+	fs.trCompiled, fs.trFused, fs.trEntries = 0, 0, 0
+	fs.trInstrs, fs.trDeopts, fs.trExits = 0, 0, 0
 	fs.spec.dead = false
 	if fk.tainted {
 		fs.Domains.ResetEpochCache()
+		// Fork traces are exactly as clean as the fork decodes they were
+		// compiled from; a discarded epoch may have decoded speculative
+		// bytes, so the trace tables go with the decode cache.
+		fs.dropTraces()
 		fk.tainted = false
 	}
 	fs.Table.ForkReset()
@@ -325,6 +332,12 @@ func (s *System) stepParallel(quantum vtime.Cycles) (bool, *obj.Fault) {
 		s.preemptions += fk.sys.preemptions
 		s.faultsSent += fk.sys.faultsSent
 		s.instructions += fk.sys.instructions
+		s.trCompiled += fk.sys.trCompiled
+		s.trFused += fk.sys.trFused
+		s.trEntries += fk.sys.trEntries
+		s.trInstrs += fk.sys.trInstrs
+		s.trDeopts += fk.sys.trDeopts
+		s.trExits += fk.sys.trExits
 		fk.sys.Domains.MergeEpochCache(s.Domains)
 		worked = worked || fk.worked
 	}
@@ -350,7 +363,18 @@ func (s *System) stepParallel(quantum vtime.Cycles) (bool, *obj.Fault) {
 // live memory, so committed bytes are coherent by construction — and
 // structural events never reach a commit (they abort the epoch and bump
 // the generation globally on the serial replay instead).
+//
+// Compiled traces ride the same scope: a descriptor write landing on a
+// code object drops that object's trace table, so the next prime rebuilds
+// from a fresh decode. (A cache that pins a written code object dies via
+// cacheTouches anyway; the table drop closes the gap for tables no live
+// cache currently references.)
 func (s *System) scopedInvalidate(written []obj.Index) {
+	if s.traceTabs != nil {
+		for _, idx := range written {
+			delete(s.traceTabs, idx)
+		}
+	}
 	gen := s.Table.CacheGen()
 	for _, cpu := range s.CPUs {
 		xc := cpu.xc

@@ -235,8 +235,8 @@ func TestParallelConflictSharedPort(t *testing.T) {
 				t.Fatal(f)
 			}
 			dom := mustDomain(t, s, []isa.Instr{
-				isa.MovI(1, 200),    // sends to go
-				isa.CSend(0, 1, 2),  // shared port never fills (cap 1024)
+				isa.MovI(1, 200),   // sends to go
+				isa.CSend(0, 1, 2), // shared port never fills (cap 1024)
 				isa.AddI(1, 1, ^uint32(0)),
 				isa.BrNZ(1, 1),
 				isa.Halt(),

@@ -30,7 +30,7 @@ import (
 // spread of time slices (preemption traffic) across 2..4 processors.
 // Identical seeds produce identical construction sequences, so builds with
 // different backend/cache settings are twins.
-func buildFuzzSystem(t *testing.T, seed int64, hostpar, nocache bool) *gdp.System {
+func buildFuzzSystem(t *testing.T, seed int64, hostpar, nocache, notrace bool) *gdp.System {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	s, err := gdp.New(gdp.Config{
@@ -38,6 +38,7 @@ func buildFuzzSystem(t *testing.T, seed int64, hostpar, nocache bool) *gdp.Syste
 		MemoryBytes:  8 << 20,
 		HostParallel: hostpar,
 		NoExecCache:  nocache,
+		NoTraceJIT:   notrace,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -56,7 +57,7 @@ func buildFuzzSystem(t *testing.T, seed int64, hostpar, nocache bool) *gdp.Syste
 		}
 		iters := uint32(300 + rng.Intn(2500))
 		var prog []isa.Instr
-		switch rng.Intn(3) {
+		switch rng.Intn(4) {
 		case 0: // pure compute: sum the countdown
 			prog = []isa.Instr{
 				isa.MovI(1, iters),
@@ -81,6 +82,27 @@ func buildFuzzSystem(t *testing.T, seed int64, hostpar, nocache bool) *gdp.Syste
 				isa.CRecv(2, 1, 3), // whatever is there, if anything
 				isa.AddI(1, 1, ^uint32(0)),
 				isa.BrNZ(1, 1),
+				isa.Halt(),
+			}
+		case 3: // a hot loop that self-modifies its own invalidation
+			// triggers: the per-iteration CSend's carrier traffic keeps
+			// bumping the cache generation under the loop's compiled
+			// trace, and the epilogue nils the a-reg the loop loads
+			// through, then jumps back in — the re-entered trace must
+			// deopt mid-run and land on the canonical dangling-AD fault.
+			prog = []isa.Instr{
+				isa.MovI(1, iters),
+				isa.MovI(2, 3),
+				isa.Add(4, 4, 2), // loop head
+				isa.Sub(5, 4, 2),
+				isa.Mul(6, 4, 2),
+				isa.AddI(1, 1, ^uint32(0)),
+				isa.Load(3, 0, 0),  // result[0]; deopts once a0 is nil
+				isa.CSend(0, 1, 7), // offer result; full port drops it
+				isa.BrNZ(1, 2),
+				isa.MovA(0, 2), // a0 ← nil (a2 was never filled)
+				isa.MovI(1, 60),
+				isa.Br(2), // back into the hot loop
 				isa.Halt(),
 			}
 		}
@@ -179,24 +201,28 @@ func corpusSeeds(t *testing.T) []int64 {
 }
 
 func TestParallelDifferentialFuzz(t *testing.T) {
-	// Three axes, four corners: {serial, parallel} × {cached, uncached}.
-	// The uncached serial run is the reference semantics; every other
-	// configuration must reproduce its fingerprint byte for byte.
+	// Three axes, six corners: {serial, parallel} × {cache off, cache on,
+	// cache+trace}. The uncached serial run is the reference semantics;
+	// every other configuration must reproduce its fingerprint byte for
+	// byte — including both trace corners, where hot loops execute as
+	// compiled superinstructions (trace.go).
 	variants := []struct {
-		name             string
-		hostpar, nocache bool
+		name                      string
+		hostpar, nocache, notrace bool
 	}{
-		{"serial-nocache", false, true},
-		{"serial-cache", false, false},
-		{"parallel-nocache", true, true},
-		{"parallel-cache", true, false},
+		{"serial-nocache", false, true, true},
+		{"serial-cache", false, false, true},
+		{"serial-trace", false, false, false},
+		{"parallel-nocache", true, true, true},
+		{"parallel-cache", true, false, true},
+		{"parallel-trace", true, false, false},
 	}
 	for _, seed := range corpusSeeds(t) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			var ref string
 			for _, v := range variants {
-				s := buildFuzzSystem(t, seed, v.hostpar, v.nocache)
+				s := buildFuzzSystem(t, seed, v.hostpar, v.nocache, v.notrace)
 				runFuzz(t, s)
 				fp := fuzzFingerprint(t, s)
 				if v.name == "serial-nocache" {

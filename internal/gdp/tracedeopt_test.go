@@ -1,0 +1,405 @@
+package gdp
+
+// Table-driven deopt tests for the trace compiler (trace.go): each
+// scenario drives a pair of twin systems — one with the compiler off, one
+// with it on — through the same step cadence and the same mid-run
+// mutation, comparing a full machine fingerprint (per-CPU clocks, slice
+// remainders, instruction counters, stats, and the raw context data bytes
+// — registers and IP) after every step. Divergence at any step means a
+// deopt or a limit crossing left the traced machine in a state the
+// per-instruction interpreter would not have produced.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/process"
+	"repro/internal/vtime"
+)
+
+// deoptWorld is one constructed system plus the handles the scenario's
+// mutation needs.
+type deoptWorld struct {
+	s     *System
+	procs []obj.AD
+	aux   obj.AD // scenario-dependent: usually the loaded/stored operand
+}
+
+// testInjector fires one synthetic fault at a fixed system-wide
+// instruction count — the gdp.Injector contract without the inject
+// package's plan machinery (which lives above gdp and cannot be imported
+// here).
+type testInjector struct {
+	at    uint64
+	fired bool
+}
+
+func (i *testInjector) NextAt() uint64 {
+	if i.fired {
+		return ^uint64(0)
+	}
+	return i.at
+}
+
+func (i *testInjector) Fire(s *System, cpu *CPU) *obj.Fault {
+	i.fired = true
+	return obj.Faultf(obj.FaultBounds, cpu.proc, "injected mid-trace")
+}
+
+// buildDeoptWorld constructs one system for a scenario. The construction
+// sequence is fully deterministic, so the notrace/trace twins are
+// byte-identical at the start.
+func buildDeoptWorld(t *testing.T, notrace bool, sc *deoptScenario) *deoptWorld {
+	t.Helper()
+	s, err := New(Config{Processors: 1, MemoryBytes: 8 << 20, NoTraceJIT: notrace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &deoptWorld{s: s}
+	sc.build(t, w)
+	return w
+}
+
+// spawnProg compiles prog into a fresh domain and spawns one process over
+// it.
+func spawnProg(t *testing.T, s *System, prog []isa.Instr, spec SpawnSpec) obj.AD {
+	t.Helper()
+	code, f := s.Domains.CreateCode(s.Heap, prog)
+	if f != nil {
+		t.Fatal(f)
+	}
+	dom, f := s.Domains.Create(s.Heap, code, []uint32{0})
+	if f != nil {
+		t.Fatal(f)
+	}
+	p, f := s.Spawn(dom, spec)
+	if f != nil {
+		t.Fatal(f)
+	}
+	return p
+}
+
+// hotLoadLoop is the shared workload: a closed hot loop of four register
+// ops, a load through a0, and the back edge — compiled as one trace
+// (superinstruction block + singleton load + branch) once hot.
+func hotLoadLoop(iters uint32) []isa.Instr {
+	return []isa.Instr{
+		isa.MovI(1, iters),
+		isa.MovI(2, 3),
+		isa.Add(4, 4, 2), // loop head (ip 2)
+		isa.Sub(5, 4, 2),
+		isa.Mul(6, 4, 2),
+		isa.AddI(1, 1, ^uint32(0)),
+		isa.Load(3, 0, 0),
+		isa.BrNZ(1, 2),
+		isa.Store(4, 0, 4),
+		isa.Halt(),
+	}
+}
+
+// deoptFingerprint captures everything the twins must agree on: clocks,
+// slice remainders, counters, stats, and each process's raw context data
+// bytes (IP, resume word, register file).
+func deoptFingerprint(s *System, procs []obj.AD) string {
+	var b bytes.Buffer
+	for _, cpu := range s.CPUs {
+		fmt.Fprintf(&b, "cpu%d clock=%d slice=%d instr=%d disp=%d idle=%d\n",
+			cpu.ID, cpu.Clock.Now(), cpu.sliceLeft, cpu.Instructions,
+			cpu.Dispatches, cpu.IdleCycles)
+	}
+	fmt.Fprintf(&b, "stats=%+v now=%d\n", s.Stats(), s.Now())
+	for i, p := range procs {
+		ctx, f := s.Procs.Context(p)
+		if f != nil || !ctx.Valid() {
+			fmt.Fprintf(&b, "proc%d no-ctx fault=%v\n", i, f)
+			continue
+		}
+		d, f := s.Table.Resolve(ctx)
+		if f != nil || d.SwappedOut {
+			fmt.Fprintf(&b, "proc%d ctx-gone fault=%v swapped=%v\n", i, f, d != nil && d.SwappedOut)
+			continue
+		}
+		win := s.Table.Memory().Window(d.Data)
+		fmt.Fprintf(&b, "proc%d ctx=% x\n", i, win[:process.CtxDataBytes])
+	}
+	return b.String()
+}
+
+type deoptScenario struct {
+	name string
+	// build populates the world: spawn processes, stash aux handles,
+	// install injectors. Must be deterministic.
+	build func(t *testing.T, w *deoptWorld)
+	// mutate fires once, on both twins, after warmSteps steps.
+	mutate func(t *testing.T, w *deoptWorld)
+	// mutateWhenIP, when non-nil, delays the mutation past the warm point
+	// until the first step boundary where proc 0's context IP equals this
+	// value (both twins agree on the IP — that is the parity under test —
+	// so the mutation stays twin-identical).
+	mutateWhenIP *uint32
+	// budget is the per-step cycle budget; odd values land limit
+	// crossings on fused boundaries.
+	budget vtime.Cycles
+	steps  int
+	// Expected trace-system outcomes.
+	wantDeopts  bool
+	wantEntries bool
+}
+
+func deoptScenarios() []deoptScenario {
+	return []deoptScenario{
+		{
+			// Destroying the loaded object bumps the cache generation and
+			// leaves a dangling AD in a0. The bump disarms the one-shot
+			// trace entry during the re-prime, so the per-instruction
+			// interpreter — not the trace — meets the dangling capability
+			// and raises the canonical fault; the parity check proves the
+			// traced machine reaches that boundary byte-identically.
+			// (Armed-entry deopts are exercised by the nil-areg and
+			// self-referential scenarios below.)
+			name: "destroy-load-target",
+			build: func(t *testing.T, w *deoptWorld) {
+				res, f := w.s.SROs.Create(w.s.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 16})
+				if f != nil {
+					t.Fatal(f)
+				}
+				w.aux = res
+				w.procs = append(w.procs, spawnProg(t, w.s, hotLoadLoop(60_000), SpawnSpec{AArgs: [4]obj.AD{res}}))
+			},
+			mutate: func(t *testing.T, w *deoptWorld) {
+				if f := w.s.Table.Destroy(w.aux); f != nil {
+					t.Fatal(f)
+				}
+			},
+			budget: 4_001, steps: 120,
+			wantEntries: true,
+		},
+		{
+			// Swapping the loaded object out makes the operand resolve
+			// fail presence. As with destroy, the generation bump means
+			// the interpreter meets the absent object first; the parity
+			// check covers the whole re-prime + canonical-fault sequence.
+			name: "swapout-load-target",
+			build: func(t *testing.T, w *deoptWorld) {
+				res, f := w.s.SROs.Create(w.s.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 16})
+				if f != nil {
+					t.Fatal(f)
+				}
+				w.aux = res
+				w.procs = append(w.procs, spawnProg(t, w.s, hotLoadLoop(60_000), SpawnSpec{AArgs: [4]obj.AD{res}}))
+			},
+			mutate: func(t *testing.T, w *deoptWorld) {
+				if f := w.s.Table.SwapOut(w.aux.Index, 1); f != nil {
+					t.Fatal(f)
+				}
+			},
+			budget: 4_001, steps: 120,
+			wantEntries: true,
+		},
+		{
+			// Nil out the a-reg the hot loop loads through — via SetAReg,
+			// which deliberately does NOT bump the cache generation (the
+			// fast path re-reads a-regs from the live window) — at a step
+			// boundary where the machine is parked on the loop head with
+			// the trace entry armed. The next quantum enters the trace,
+			// runs the superinstruction block, and the load guard must
+			// deopt mid-trace with the registers exactly at the last
+			// completed instruction.
+			name: "nil-areg-mid-trace",
+			build: func(t *testing.T, w *deoptWorld) {
+				res, f := w.s.SROs.Create(w.s.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 16})
+				if f != nil {
+					t.Fatal(f)
+				}
+				w.aux = res
+				w.procs = append(w.procs, spawnProg(t, w.s, hotLoadLoop(60_000), SpawnSpec{AArgs: [4]obj.AD{res}}))
+			},
+			mutate: func(t *testing.T, w *deoptWorld) {
+				ctx, f := w.s.Procs.Context(w.procs[0])
+				if f != nil || !ctx.Valid() {
+					t.Fatalf("process lost its context: %v", f)
+				}
+				if f := w.s.Procs.SetAReg(ctx, 0, obj.NilAD); f != nil {
+					t.Fatal(f)
+				}
+			},
+			mutateWhenIP: func() *uint32 { ip := uint32(2); return &ip }(),
+			budget:       4_001, steps: 120,
+			wantDeopts: true, wantEntries: true,
+		},
+		{
+			// A compaction-style move of the loaded object: swap it out,
+			// plug the hole so the swap-in lands at fresh extents, and
+			// restore the image — the generation bump forces a re-prime
+			// and the re-attached trace must run against the moved
+			// window byte-identically. (The mm compactor itself cannot
+			// be imported here — it sits above gdp — but the observable
+			// machine events are exactly these.)
+			name: "move-load-target",
+			build: func(t *testing.T, w *deoptWorld) {
+				res, f := w.s.SROs.Create(w.s.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 16})
+				if f != nil {
+					t.Fatal(f)
+				}
+				w.aux = res
+				w.procs = append(w.procs, spawnProg(t, w.s, hotLoadLoop(60_000), SpawnSpec{AArgs: [4]obj.AD{res}}))
+			},
+			mutate: func(t *testing.T, w *deoptWorld) {
+				tab := w.s.Table
+				d, f := tab.Resolve(w.aux)
+				if f != nil {
+					t.Fatal(f)
+				}
+				oldBase := d.Data.Base
+				img := append([]byte(nil), tab.Memory().Window(d.Data)...)
+				if f := tab.SwapOut(w.aux.Index, 1); f != nil {
+					t.Fatal(f)
+				}
+				// Plug the freed extent so the swap-in cannot land back
+				// at the same address.
+				if _, f := w.s.SROs.Create(w.s.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: uint32(len(img))}); f != nil {
+					t.Fatal(f)
+				}
+				data, _, f := tab.SwapIn(w.aux.Index)
+				if f != nil {
+					t.Fatal(f)
+				}
+				copy(tab.Memory().Window(data), img)
+				if data.Base == oldBase {
+					t.Fatal("object did not move; the scenario is vacuous")
+				}
+			},
+			budget: 4_001, steps: 120,
+			wantEntries: true,
+		},
+		{
+			// A planned fault lands at a system-wide instruction count
+			// chosen to fall mid-hot-loop: the runner must stop before
+			// the due instruction so the injection fires exactly on time.
+			name: "injected-fault-mid-trace",
+			build: func(t *testing.T, w *deoptWorld) {
+				res, f := w.s.SROs.Create(w.s.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 16})
+				if f != nil {
+					t.Fatal(f)
+				}
+				w.procs = append(w.procs, spawnProg(t, w.s, hotLoadLoop(60_000), SpawnSpec{AArgs: [4]obj.AD{res}}))
+				w.s.SetInjector(&testInjector{at: 1_003})
+			},
+			budget: 4_001, steps: 40,
+			wantEntries: true,
+		},
+		{
+			// A short, odd time slice lands quantum expiry inside fused
+			// blocks over and over; every preemption boundary must leave
+			// the context exactly where the serial loop would have.
+			name: "quantum-expiry-on-fused-boundary",
+			build: func(t *testing.T, w *deoptWorld) {
+				res, f := w.s.SROs.Create(w.s.Heap, obj.CreateSpec{Type: obj.TypeGeneric, DataLen: 16})
+				if f != nil {
+					t.Fatal(f)
+				}
+				for i := 0; i < 2; i++ {
+					w.procs = append(w.procs, spawnProg(t, w.s, hotLoadLoop(60_000),
+						SpawnSpec{TimeSlice: 1_501, AArgs: [4]obj.AD{res}}))
+				}
+			},
+			budget: 997, steps: 300,
+			wantEntries: true,
+		},
+		{
+			// A store through an a-reg naming the running context itself:
+			// the slow path writes the IP before the store, so the store
+			// can observe ip+1 — the trace defers IP writes and must
+			// deopt on the self-reference guard every single entry.
+			name: "self-referential-store",
+			build: func(t *testing.T, w *deoptWorld) {
+				prog := []isa.Instr{
+					isa.MovI(1, 60_000),
+					isa.MovI(0, 9),
+					isa.Add(0, 0, 2), // loop head (ip 2)
+					isa.Sub(5, 0, 2),
+					isa.Mul(6, 0, 2),
+					isa.AddI(1, 1, ^uint32(0)),
+					isa.Store(0, 2, process.CtxOffRegs+7*4), // writes own r7
+					isa.BrNZ(1, 2),
+					isa.Halt(),
+				}
+				p := spawnProg(t, w.s, prog, SpawnSpec{})
+				ctx, f := w.s.Procs.Context(p)
+				if f != nil || !ctx.Valid() {
+					t.Fatalf("spawned process has no context: %v", f)
+				}
+				if f := w.s.Procs.SetAReg(ctx, 2, ctx); f != nil {
+					t.Fatal(f)
+				}
+				w.procs = append(w.procs, p)
+			},
+			budget: 4_001, steps: 120,
+			wantDeopts: true, wantEntries: true,
+		},
+	}
+}
+
+// ctxIP reads the context IP of p, or ^uint32(0) when the process or its
+// context is gone.
+func ctxIP(s *System, p obj.AD) uint32 {
+	ctx, f := s.Procs.Context(p)
+	if f != nil || !ctx.Valid() {
+		return ^uint32(0)
+	}
+	d, f := s.Table.Resolve(ctx)
+	if f != nil || d.SwappedOut {
+		return ^uint32(0)
+	}
+	return winIP(s.Table.Memory().Window(d.Data))
+}
+
+func TestTraceDeoptParity(t *testing.T) {
+	for i := range deoptScenarios() {
+		sc := deoptScenarios()[i]
+		t.Run(sc.name, func(t *testing.T) {
+			ref := buildDeoptWorld(t, true, &sc)
+			tr := buildDeoptWorld(t, false, &sc)
+			warm := sc.steps / 3
+			mutated := sc.mutate == nil
+			for step := 0; step < sc.steps; step++ {
+				if !mutated && step >= warm &&
+					(sc.mutateWhenIP == nil || ctxIP(tr.s, tr.procs[0]) == *sc.mutateWhenIP) {
+					sc.mutate(t, ref)
+					sc.mutate(t, tr)
+					mutated = true
+				}
+				if _, f := ref.s.Step(sc.budget); f != nil {
+					t.Fatalf("step %d (notrace): %v", step, f)
+				}
+				if _, f := tr.s.Step(sc.budget); f != nil {
+					t.Fatalf("step %d (trace): %v", step, f)
+				}
+				a := deoptFingerprint(ref.s, ref.procs)
+				b := deoptFingerprint(tr.s, tr.procs)
+				if a != b {
+					t.Fatalf("step %d: traced machine diverged\n--- notrace ---\n%s--- trace ---\n%s", step, a, b)
+				}
+			}
+			if !mutated {
+				t.Fatalf("mutation never fired: the machine never parked on IP %d", *sc.mutateWhenIP)
+			}
+			st := tr.s.TraceStats()
+			if st.Compiled == 0 {
+				t.Fatalf("scenario never compiled a trace: %+v", st)
+			}
+			if sc.wantEntries && st.Entries == 0 {
+				t.Fatalf("scenario never entered a trace: %+v", st)
+			}
+			if sc.wantDeopts && st.Deopts == 0 {
+				t.Fatalf("scenario never deopted: %+v", st)
+			}
+			if rst := ref.s.TraceStats(); rst != (TraceStats{}) {
+				t.Fatalf("NoTraceJIT system ran the trace compiler: %+v", rst)
+			}
+		})
+	}
+}

@@ -82,6 +82,14 @@ type execCache struct {
 	code obj.AD // the domain's code object (prog was decoded from it)
 	prog []isa.Instr
 	res  [resolveWays]resolveEntry
+
+	// Trace-compiler attachment (trace.go). ct is the code object's trace
+	// table, attached at prime time; entry/entryIP are the one-shot entry
+	// point armed by a taken backward branch (or a trace exit landing on
+	// another head), checked with two compares on the fast path.
+	ct      *codeTraces
+	entry   *codeTrace
+	entryIP uint32
 }
 
 // staleGen is never a real cache generation (generations count up from
@@ -183,6 +191,10 @@ func (s *System) primeExecCache(cpu *CPU) *execCache {
 		dom:  dom,
 		code: code,
 		prog: prog,
+		// The trace table rides the same immutability key as the decode
+		// cache (descriptor index + generation), so a re-prime after any
+		// invalidation re-attaches — or lazily rebuilds — the right one.
+		ct: s.tracesFor(code),
 	}
 	return xc
 }
@@ -224,8 +236,10 @@ func (xc *execCache) operand(s *System, ad obj.AD) *resolveEntry {
 // fast path: the cache is stale, a resume action is pending, the IP is out
 // of bounds, an operand fails to translate, or rights/bounds would fault.
 // The slow path then re-derives everything and produces the canonical
-// outcome, fault or not.
-func (s *System) execOneFast(cpu *CPU) (vtime.Cycles, *obj.Fault, bool) {
+// outcome, fault or not. limit is the quantum's remaining cycle allowance
+// (stepVM mins the budget and the time slice); only the trace runner uses
+// it — a single interpreted instruction is atomic regardless.
+func (s *System) execOneFast(cpu *CPU, limit vtime.Cycles) (vtime.Cycles, *obj.Fault, bool) {
 	xc := cpu.xc
 	if xc == nil || s.xcOff ||
 		xc.gen != s.Table.CacheGen() || xc.proc != cpu.proc {
@@ -242,6 +256,19 @@ func (s *System) execOneFast(cpu *CPU) (vtime.Cycles, *obj.Fault, bool) {
 	ip := winIP(win)
 	if ip >= uint32(len(xc.prog)) {
 		return 0, nil, false
+	}
+	// Armed trace entry: a prior backward branch (or trace exit) named
+	// this IP as a compiled head. A run that completes any instructions
+	// has done all accounting itself; a first-op deopt falls through to
+	// the ordinary dispatch below with state untouched. The s.Trace
+	// observer needs one event per instruction, so compiled runs are
+	// skipped entirely while one is installed (the machine bytes are
+	// identical either way).
+	if xc.entry != nil && ip == xc.entryIP && s.Trace == nil {
+		if spent, ok := s.runTrace(cpu, xc, xc.entry, limit); ok {
+			return spent, nil, true
+		}
+		xc.entry = nil
 	}
 	in := xc.prog[ip]
 
@@ -301,6 +328,11 @@ func (s *System) execOneFast(cpu *CPU) (vtime.Cycles, *obj.Fault, bool) {
 	case isa.OpBr:
 		cost = vtime.CostBranch
 		setWinIP(win, in.C)
+		if in.C <= ip {
+			// A taken backward branch is the trace compiler's profile
+			// signal: its target is a loop head candidate.
+			xc.noteBranch(s, in.C)
+		}
 
 	case isa.OpBrZ, isa.OpBrNZ:
 		if in.A >= isa.NumDataRegs {
@@ -309,6 +341,9 @@ func (s *System) execOneFast(cpu *CPU) (vtime.Cycles, *obj.Fault, bool) {
 		cost = vtime.CostBranch
 		if (in.Op == isa.OpBrZ) == (winReg(win, in.A) == 0) {
 			setWinIP(win, in.C)
+			if in.C <= ip {
+				xc.noteBranch(s, in.C)
+			}
 		} else {
 			setWinIP(win, ip+1)
 		}
@@ -320,6 +355,9 @@ func (s *System) execOneFast(cpu *CPU) (vtime.Cycles, *obj.Fault, bool) {
 		cost = vtime.CostBranch
 		if winReg(win, in.A) < winReg(win, in.B) {
 			setWinIP(win, in.C)
+			if in.C <= ip {
+				xc.noteBranch(s, in.C)
+			}
 		} else {
 			setWinIP(win, ip+1)
 		}
@@ -470,6 +508,38 @@ func (s *System) AuditExecCaches() []ExecCacheAudit {
 			}
 			if !sameView(m.Window(d.Data), e.win) {
 				bad("operand way %d window does not match %v's extent", way, e.ad)
+			}
+		}
+		// The attached trace table must carry the code object's identity
+		// key, and every fused op must still mirror the decoded program a
+		// slow-path re-derivation would fetch — a trace diverging from its
+		// program would execute instructions the machine no longer holds.
+		if ct := xc.ct; ct != nil {
+			if ct.gen != xc.code.Gen {
+				bad("trace table generation %d does not match code %v", ct.gen, xc.code)
+			}
+			for head, tr := range ct.traces {
+				if tr == nil {
+					continue // tried-and-rejected sentinel
+				}
+				if tr.head != head {
+					bad("trace keyed at %d reports head %d", head, tr.head)
+				}
+			ops:
+				for k := range tr.ops {
+					op := &tr.ops[k]
+					if uint64(op.ip)+uint64(op.n) > uint64(len(xc.prog)) ||
+						op.n != uint32(len(op.src)) {
+						bad("trace at %d: fused op %d overruns the decoded program", head, k)
+						break
+					}
+					for j, in := range op.src {
+						if xc.prog[op.ip+uint32(j)] != in {
+							bad("trace at %d: fused op %d diverges from the decoded program", head, k)
+							break ops
+						}
+					}
+				}
 			}
 		}
 		out = append(out, rec)

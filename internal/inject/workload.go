@@ -21,30 +21,40 @@ import (
 	"repro/internal/port"
 )
 
-// Corner selects one backend/cache configuration of the four the chaos
-// harness must prove byte-identical.
+// Corner selects one backend/cache/trace configuration of the six the
+// chaos harness must prove byte-identical.
 type Corner struct {
 	HostParallel bool
 	NoExecCache  bool
+	// NoTraceJIT disables the profile-guided trace compiler while keeping
+	// the execution cache; meaningless (implied) when NoExecCache is set,
+	// since traces only run from a live cache.
+	NoTraceJIT bool
 }
 
 func (c Corner) String() string {
-	b, x := "serial", "cache"
+	b, x := "serial", "trace"
 	if c.HostParallel {
 		b = "parallel"
 	}
-	if c.NoExecCache {
+	switch {
+	case c.NoExecCache:
 		x = "nocache"
+	case c.NoTraceJIT:
+		x = "cache"
 	}
 	return b + "-" + x
 }
 
-// Corners is the full {serial,parallel}×{cache on,off} matrix.
-var Corners = [4]Corner{
-	{HostParallel: false, NoExecCache: false},
-	{HostParallel: false, NoExecCache: true},
-	{HostParallel: true, NoExecCache: false},
-	{HostParallel: true, NoExecCache: true},
+// Corners is the full {serial,parallel}×{cache off, cache on, cache+trace}
+// matrix.
+var Corners = [6]Corner{
+	{HostParallel: false, NoExecCache: false, NoTraceJIT: false},
+	{HostParallel: false, NoExecCache: false, NoTraceJIT: true},
+	{HostParallel: false, NoExecCache: true, NoTraceJIT: true},
+	{HostParallel: true, NoExecCache: false, NoTraceJIT: false},
+	{HostParallel: true, NoExecCache: false, NoTraceJIT: true},
+	{HostParallel: true, NoExecCache: true, NoTraceJIT: true},
 }
 
 const (
@@ -111,6 +121,7 @@ func BuildWorld(seed int64, corner Corner, injected bool) (*World, error) {
 		TraceCapacity: chaosTraceCap,
 		HostParallel:  corner.HostParallel,
 		NoExecCache:   corner.NoExecCache,
+		NoTraceJIT:    corner.NoTraceJIT,
 	})
 	if err != nil {
 		return nil, err
@@ -250,8 +261,8 @@ func BuildWorld(seed int64, corner Corner, injected bool) (*World, error) {
 			prog := []isa.Instr{
 				isa.MovI(4, laps),
 				isa.MovI(5, 0),
-				isa.Recv(1, 2),     // a1 ← ball from a2
-				isa.Load(0, 1, 0),  // increment the rally count
+				isa.Recv(1, 2),    // a1 ← ball from a2
+				isa.Load(0, 1, 0), // increment the rally count
 				isa.AddI(0, 0, 1),
 				isa.Store(0, 1, 0),
 				isa.Send(1, 3, 5), // volley to a3

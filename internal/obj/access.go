@@ -243,6 +243,10 @@ func (t *Table) StoreADSystem(dst AD, slot uint32, src AD) *Fault {
 		// cache. Context-object system stores are the access registers
 		// (SetAReg), which the cache reads through the checked path — no
 		// bump, or every AD-handling instruction would thrash the cache.
+		// The trace compiler leans on the same discipline: a fused
+		// load/store re-reads its a-reg from the live access window on
+		// every execution, so a SetAReg under a compiled trace is
+		// observed without invalidation (and a vanished operand deopts).
 		t.xgen++
 		t.noteCacheHazard(dst.Index)
 	}

@@ -157,8 +157,20 @@ func (t *Table) SetTracer(l *trace.Log) { t.tr = l }
 func (t *Table) Tracer() *trace.Log { return t.tr }
 
 // CacheGen reports the table's cache-invalidation generation. Holders of
-// derived state (resolved descriptor windows, decoded operand caches) must
-// snapshot it when priming and treat any later mismatch as invalidation.
+// derived state (resolved descriptor windows, decoded operand caches,
+// compiled instruction traces) must snapshot it when priming and treat any
+// later mismatch as invalidation.
+//
+// Trace-pin hazard note: the interpreter's trace compiler (internal/gdp)
+// fuses hot regions into superinstructions that run over pinned mem.Window
+// views with the instruction pointer deferred to region exit. Those runs
+// are safe against exactly the hazards this generation covers — destroy,
+// swap-out/in, compaction moves, AD stores into process/context objects —
+// because a trace executes only from an execution cache whose generation
+// was just checked, and no fused operation can bump the generation
+// mid-run. Any new table mutation that can invalidate a derived window or
+// decoded program MUST bump xgen (directly or via InvalidateCaches), or
+// compiled traces will keep executing a world that no longer exists.
 //
 // An epoch fork reports the sum of its parent's generation and its own:
 // fork-local aliasing operations (an AD store into a process or context
