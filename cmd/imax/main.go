@@ -7,6 +7,7 @@
 //
 //	imax [-cpus N] [-mem BYTES] [-swapping] [-gc] [-hostpar] [-noxcache]
 //	     [-notrace] [-demo NAME] [-trace] [-audit] [-itrace N] [-inspect]
+//	     [-ledger FILE]
 //	imax -inject SEED
 //
 // Demos: ports (default), compute, gc, io.
@@ -15,6 +16,12 @@
 // after the workload; -audit runs the cross-subsystem invariant auditor
 // and exits non-zero on any violation; -itrace prints the first N executed
 // instructions.
+//
+// -ledger FILE attaches the tamper-evident audit ledger to the trace
+// stream, and at exit seals it, self-verifies the sealed bytes (structure,
+// hash chain, Merkle root, per-kind counters against the live ring) and
+// writes them to FILE. The bytes are deterministic: two invocations with
+// the same flags produce identical files, which CI checks with cmp.
 //
 // -inject runs the deterministic fault-injection acceptance protocol for
 // the given seed instead of a demo: a fault-free reference run, then the
@@ -37,9 +44,11 @@ import (
 	"repro/internal/inspect"
 	"repro/internal/iosys"
 	"repro/internal/isa"
+	"repro/internal/ledger"
 	"repro/internal/obj"
 	"repro/internal/port"
 	"repro/internal/process"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -56,6 +65,7 @@ func main() {
 	auditFlag := flag.Bool("audit", false, "run the invariant auditor at exit; non-zero on violations")
 	itrace := flag.Int("itrace", 0, "print the first N executed instructions")
 	injectSeed := flag.Int64("inject", 0, "run the fault-injection acceptance protocol for this seed (0 = off)")
+	ledgerFile := flag.String("ledger", "", "seal the audit ledger of the run, self-verify it and write its bytes to this file")
 	flag.Parse()
 
 	if *injectSeed != 0 {
@@ -77,6 +87,7 @@ func main() {
 		GC:           *gcOn,
 		Filing:       true,
 		Trace:        *traceFlag,
+		Ledger:       *ledgerFile != "",
 		HostParallel: *hostpar,
 		NoExecCache:  *noxcache,
 		NoTraceJIT:   *notrace,
@@ -140,6 +151,50 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *ledgerFile != "" {
+		if err := sealLedger(im, *ledgerFile); err != nil {
+			log.Fatalf("imax: ledger: %v", err)
+		}
+	}
+}
+
+// sealLedger closes the run's audit ledger, verifies the sealed bytes
+// from scratch (structure, hash chain, Merkle commitments) and
+// cross-checks the replayed counters against the live trace ring before
+// writing the ledger to path.
+func sealLedger(im *core.IMAX, path string) error {
+	lg := im.Ledger
+	lg.Close()
+	data := lg.Bytes()
+	rep, err := ledger.Verify(data)
+	if err != nil {
+		return fmt.Errorf("sealed ledger does not verify: %w", err)
+	}
+	if rep.Root != lg.Root() {
+		return fmt.Errorf("replay root %x != sink root %s", rep.Root, lg.RootHex())
+	}
+	seq, counts := im.TraceLog.Snapshot()
+	if lg.Dropped() == 0 && uint64(len(rep.Events)) != seq {
+		return fmt.Errorf("ledger holds %d events, ring emitted %d", len(rep.Events), seq)
+	}
+	for k, n := range counts {
+		var got uint64
+		if k < len(rep.Counts) {
+			got = rep.Counts[k]
+		}
+		if k < len(rep.Dropped) {
+			got += rep.Dropped[k]
+		}
+		if got != n {
+			return fmt.Errorf("kind %v: ledger accounts for %d events, ring counted %d", trace.Kind(k), got, n)
+		}
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nledger: %d segments, %d events (%d dropped), root %s -> %s (%d bytes, verified)\n",
+		lg.Segments(), lg.Recorded(), lg.Dropped(), lg.RootHex(), path, len(data))
+	return nil
 }
 
 func mustDomain(im *core.IMAX, prog []isa.Instr) obj.AD {

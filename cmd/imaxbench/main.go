@@ -18,6 +18,10 @@
 //	                               open-loop scale scenarios (SLO percentiles)
 //	imaxbench -bench-shard OUT.json [-shard-sessions N] [-shard-det]
 //	                               sharded multi-kernel scale-out benchmark
+//	imaxbench -bench-ledger OUT.json [-ledger-events N]
+//	                               audit-ledger benchmark (seal/verify/prove
+//	                               throughput, deterministic-drop and
+//	                               root-equality gates)
 //	imaxbench -perf-track DIR [-perf-baseline DIR2] [-perf-tolerance F]
 //	                               fail if fresh BENCH_*.json in DIR regress
 //	                               >F (default 0.10) vs committed baselines
@@ -57,6 +61,8 @@ func run() int {
 	benchShard := flag.String("bench-shard", "", "run the sharded multi-kernel scale-out benchmark and write the JSON report here")
 	shardSessions := flag.Int("shard-sessions", 20_000, "session population for -bench-shard")
 	shardDet := flag.Bool("shard-det", false, "zero host wall-clock fields in -bench-shard for byte-comparable artifacts")
+	benchLedger := flag.String("bench-ledger", "", "run the audit-ledger benchmark and write the JSON report here")
+	ledgerEvents := flag.Int("ledger-events", 1_000_000, "synthetic event-stream length for -bench-ledger")
 	cpuprofile := flag.String("cpuprofile", "", "write a host CPU profile here")
 	memprofile := flag.String("memprofile", "", "write a host heap profile here on exit")
 	flag.Parse()
@@ -293,6 +299,27 @@ func run() int {
 			}
 		}
 		fmt.Println("report:", *benchShard)
+		return 0
+	}
+
+	if *benchLedger != "" {
+		rep, err := experiments.BenchLedger(*benchLedger, *ledgerEvents)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "imaxbench:", err)
+			return 1
+		}
+		fmt.Printf("bench-ledger: host %d cpus, GOMAXPROCS %d (%s)\n",
+			rep.HostCPUs, rep.GOMAXPROCS, rep.GoVersion)
+		fmt.Printf("  seal:   %d events -> %d segments, %d bytes (%.1f B/event), %8.2fms (%.0f events/s)\n",
+			rep.Events, rep.Segments, rep.LedgerBytes, rep.BytesPerEvent,
+			float64(rep.SealNs)/1e6, rep.SealEventsSec)
+		fmt.Printf("  verify: %8.2fms (%.0f events/s); %d inclusion proofs in %.2fms\n",
+			float64(rep.VerifyNs)/1e6, rep.VerifyEventsSec, rep.ProofChecks, float64(rep.ProveNs)/1e6)
+		fmt.Printf("  overload: %d recorded, %d dropped (%.1f%%), byte-identical=%v\n",
+			rep.OverloadRecorded, rep.OverloadDropped, 100*rep.OverloadDropRate, rep.OverloadIdentical)
+		fmt.Printf("  scenario: %d sessions, %d events in %d segments, roots equal=%v\n    root %s\n",
+			rep.ScenarioSessions, rep.ScenarioEvents, rep.ScenarioSegments, rep.ScenarioRootsEq, rep.ScenarioRoot)
+		fmt.Println("report:", *benchLedger)
 		return 0
 	}
 

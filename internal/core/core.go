@@ -26,6 +26,7 @@ import (
 	"repro/internal/filing"
 	"repro/internal/gc"
 	"repro/internal/gdp"
+	"repro/internal/ledger"
 	"repro/internal/mm"
 	"repro/internal/obj"
 	"repro/internal/pm"
@@ -78,6 +79,17 @@ type Config struct {
 	Trace bool
 	// TraceCapacity bounds the event ring; 0 means trace.DefaultCapacity.
 	TraceCapacity int
+
+	// Ledger attaches the tamper-evident audit ledger (internal/ledger)
+	// as the trace log's sink, sealing the full event stream into
+	// Merkle-chained segments. Implies Trace.
+	Ledger bool
+	// LedgerSegmentEvents is the records-per-segment size; 0 means
+	// ledger.DefaultSegmentEvents.
+	LedgerSegmentEvents int
+	// LedgerQueueCap bounds the ledger's pending-event queue; 0 means
+	// ledger.DefaultQueueCap.
+	LedgerQueueCap int
 
 	// DeadlineDispatch selects the driver's deadline-ordered (aging)
 	// dispatching discipline instead of strict priority order — the
@@ -137,6 +149,11 @@ type IMAX struct {
 	// nil (a nil log is a valid always-disabled sink).
 	TraceLog *trace.Log
 
+	// Ledger is the audit ledger sink when one was configured, else nil.
+	// Close it (idempotent) before reading Bytes/Root for the complete
+	// stream.
+	Ledger *ledger.Sink
+
 	levels map[obj.Index]SystemLevel
 }
 
@@ -160,8 +177,15 @@ func Boot(cfg Config) (*IMAX, error) {
 		levels: make(map[obj.Index]SystemLevel),
 	}
 	im.PM = pm.NewBasic(sys)
-	if cfg.Trace {
+	if cfg.Trace || cfg.Ledger {
 		im.TraceLog = trace.New(cfg.TraceCapacity)
+		if cfg.Ledger {
+			im.Ledger = ledger.NewSink(ledger.Config{
+				SegmentEvents: cfg.LedgerSegmentEvents,
+				QueueCap:      cfg.LedgerQueueCap,
+			})
+			im.TraceLog.SetSink(im.Ledger)
+		}
 		sys.SetTracer(im.TraceLog)
 	}
 

@@ -1,0 +1,200 @@
+package experiments
+
+// BenchLedger measures the tamper-evident audit ledger (internal/ledger)
+// end to end: sink throughput on a synthetic event stream (events/sec
+// through Record+seal, bytes/event on the wire), full Verify throughput
+// over the sealed bytes, inclusion-proof latency spot checks, drop-rate
+// behaviour under a deliberately starved pipeline, and a ledger-enabled
+// chaos scenario. The determinism claims are hard gates, not recorded
+// numbers: the overload run and the scenario each execute twice and the
+// bench fails unless the ledgers are byte-identical (respectively the
+// roots equal); the sealed synthetic ledger must Verify with counters
+// matching the input stream.
+//
+// The wall-clock throughputs are honest host measurements and therefore
+// host-dependent; they are reported for trend-watching but deliberately
+// NOT wired into -perf-track, whose tracked metrics are ratios or
+// within-host comparisons.
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/ledger"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// BenchLedgerReport is the JSON artifact written by imaxbench
+// -bench-ledger.
+type BenchLedgerReport struct {
+	HostInfo
+
+	// Synthetic stream through the default-config sink.
+	Events        int     `json:"events"`
+	LedgerBytes   int     `json:"ledger_bytes"`
+	BytesPerEvent float64 `json:"bytes_per_event"`
+	Segments      int     `json:"segments"`
+	SealNs        int64   `json:"seal_ns"`
+	SealEventsSec float64 `json:"seal_events_per_sec"`
+
+	// Verify over the sealed bytes (structure, chain, Merkle, replay).
+	VerifyNs        int64   `json:"verify_ns"`
+	VerifyEventsSec float64 `json:"verify_events_per_sec"`
+
+	// Inclusion proofs: ProofChecks events proved and verified.
+	ProofChecks int   `json:"proof_checks"`
+	ProveNs     int64 `json:"prove_ns"`
+
+	// Starved pipeline, run twice: the drop rate is deterministic and
+	// the two ledgers byte-identical (hard gate).
+	OverloadRecorded  uint64  `json:"overload_recorded"`
+	OverloadDropped   uint64  `json:"overload_dropped"`
+	OverloadDropRate  float64 `json:"overload_drop_rate"`
+	OverloadIdentical bool    `json:"overload_identical"`
+
+	// Ledger-enabled chaos scenario, run twice: same root (hard gate).
+	ScenarioSessions int    `json:"scenario_sessions"`
+	ScenarioEvents   uint64 `json:"scenario_events"`
+	ScenarioSegments int    `json:"scenario_segments"`
+	ScenarioRoot     string `json:"scenario_root"`
+	ScenarioRootsEq  bool   `json:"scenario_roots_equal"`
+}
+
+// benchLedgerEvents builds a deterministic synthetic event stream with a
+// realistic kind spread (every kind the tracer defines appears).
+func benchLedgerEvents(n int) []trace.Event {
+	events := make([]trace.Event, n)
+	x := uint64(0x9e3779b97f4a7c15)
+	kinds := trace.NumKinds()
+	for i := range events {
+		x = x*6364136223846793005 + 1442695040888963407
+		events[i] = trace.Event{
+			Seq:  uint64(i + 1),
+			Kind: trace.Kind(1 + x%uint64(kinds-1)),
+			Obj:  uint32(x >> 8),
+			Arg:  uint32(x >> 24),
+			Aux:  x >> 40,
+		}
+	}
+	return events
+}
+
+// BenchLedger runs the ledger benchmark over an n-event synthetic
+// stream (n <= 0 selects 1,000,000) and writes the JSON report to path.
+func BenchLedger(path string, n int) (*BenchLedgerReport, error) {
+	if n <= 0 {
+		n = 1_000_000
+	}
+	rep := &BenchLedgerReport{HostInfo: hostInfo(), Events: n}
+	events := benchLedgerEvents(n)
+
+	// Sink throughput: Record every event through the bounded queue and
+	// seal. The default config never drops, so the ledger must account
+	// for the full stream.
+	start := time.Now()
+	data := ledger.Seal(events, ledger.Config{})
+	rep.SealNs = time.Since(start).Nanoseconds()
+	rep.LedgerBytes = len(data)
+	rep.BytesPerEvent = float64(len(data)) / float64(n)
+	if rep.SealNs > 0 {
+		rep.SealEventsSec = float64(n) / (float64(rep.SealNs) / 1e9)
+	}
+
+	// Verify throughput.
+	start = time.Now()
+	replay, err := ledger.Verify(data)
+	rep.VerifyNs = time.Since(start).Nanoseconds()
+	if err != nil {
+		return nil, fmt.Errorf("bench-ledger: sealed ledger does not verify: %w", err)
+	}
+	rep.Segments = len(replay.Segments)
+	if len(replay.Events) != n {
+		return nil, fmt.Errorf("bench-ledger: replay holds %d events, sealed %d", len(replay.Events), n)
+	}
+	if rep.VerifyNs > 0 {
+		rep.VerifyEventsSec = float64(n) / (float64(rep.VerifyNs) / 1e9)
+	}
+
+	// Inclusion-proof spot checks, spread over the stream.
+	rep.ProofChecks = 1_000
+	if rep.ProofChecks > n {
+		rep.ProofChecks = n
+	}
+	root := replay.Root
+	start = time.Now()
+	for i := 0; i < rep.ProofChecks; i++ {
+		at := i * n / rep.ProofChecks
+		p, err := replay.ProveEvent(at)
+		if err != nil {
+			return nil, fmt.Errorf("bench-ledger: prove event %d: %w", at, err)
+		}
+		if !ledger.VerifyEvent(root, replay.Events[at], p) {
+			return nil, fmt.Errorf("bench-ledger: inclusion proof for event %d did not verify", at)
+		}
+	}
+	rep.ProveNs = time.Since(start).Nanoseconds()
+
+	// Starved pipeline ×2: deterministic drops, byte-identical ledgers.
+	starved := ledger.Config{SegmentEvents: 32, QueueCap: 48, PumpEvery: 96, DrainPerPump: 8}
+	over1 := ledger.Seal(events, starved)
+	over2 := ledger.Seal(events, starved)
+	rep.OverloadIdentical = bytes.Equal(over1, over2)
+	if !rep.OverloadIdentical {
+		return nil, fmt.Errorf("bench-ledger: overloaded ledgers diverge between identical runs")
+	}
+	overRep, err := ledger.Verify(over1)
+	if err != nil {
+		return nil, fmt.Errorf("bench-ledger: overloaded ledger does not verify: %w", err)
+	}
+	rep.OverloadRecorded = uint64(len(overRep.Events))
+	rep.OverloadDropped = overRep.DroppedTotal()
+	if rep.OverloadRecorded+rep.OverloadDropped != uint64(n) {
+		return nil, fmt.Errorf("bench-ledger: overload accounting broken: %d recorded + %d dropped != %d offered",
+			rep.OverloadRecorded, rep.OverloadDropped, n)
+	}
+	if rep.OverloadDropped == 0 {
+		return nil, fmt.Errorf("bench-ledger: starved pipeline dropped nothing — overload path unexercised")
+	}
+	rep.OverloadDropRate = float64(rep.OverloadDropped) / float64(n)
+
+	// Ledger-enabled chaos scenario ×2: same seed, same root.
+	rep.ScenarioSessions = 2_000
+	runScenario := func() (*scenario.Result, error) {
+		cfg, err := scenario.Preset("chaos", rep.ScenarioSessions, 1789)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Trace = true
+		cfg.Ledger = true
+		e, err := scenario.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return e.Run()
+	}
+	r1, err := runScenario()
+	if err != nil {
+		return nil, fmt.Errorf("bench-ledger: scenario: %w", err)
+	}
+	r2, err := runScenario()
+	if err != nil {
+		return nil, fmt.Errorf("bench-ledger: scenario rerun: %w", err)
+	}
+	rep.ScenarioEvents = r1.LedgerEvents
+	rep.ScenarioSegments = r1.LedgerSegments
+	rep.ScenarioRoot = r1.LedgerRoot
+	rep.ScenarioRootsEq = r1.LedgerRoot != "" && r1.LedgerRoot == r2.LedgerRoot
+	if !rep.ScenarioRootsEq {
+		return nil, fmt.Errorf("bench-ledger: scenario ledger roots diverge: %q vs %q", r1.LedgerRoot, r2.LedgerRoot)
+	}
+	if r1.LedgerDropped != 0 {
+		return nil, fmt.Errorf("bench-ledger: scenario run dropped %d events under the default config", r1.LedgerDropped)
+	}
+
+	if err := writeReport(path, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

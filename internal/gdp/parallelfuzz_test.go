@@ -20,6 +20,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/gdp"
 	"repro/internal/isa"
+	"repro/internal/ledger"
 	"repro/internal/obj"
 	"repro/internal/port"
 	"repro/internal/trace"
@@ -31,6 +32,13 @@ import (
 // Identical seeds produce identical construction sequences, so builds with
 // different backend/cache settings are twins.
 func buildFuzzSystem(t *testing.T, seed int64, hostpar, nocache, notrace bool) *gdp.System {
+	return buildFuzzSystemLedger(t, seed, hostpar, nocache, notrace, ledger.Config{})
+}
+
+// buildFuzzSystemLedger is buildFuzzSystem with an explicit audit-ledger
+// configuration behind the tracer — the overload-determinism test uses a
+// deliberately starved pipeline.
+func buildFuzzSystemLedger(t *testing.T, seed int64, hostpar, nocache, notrace bool, lcfg ledger.Config) *gdp.System {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	s, err := gdp.New(gdp.Config{
@@ -43,7 +51,9 @@ func buildFuzzSystem(t *testing.T, seed int64, hostpar, nocache, notrace bool) *
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.SetTracer(trace.New(1 << 17))
+	lg := trace.New(1 << 17)
+	lg.SetSink(ledger.NewSink(lcfg))
+	s.SetTracer(lg)
 
 	shared, f := s.Ports.Create(s.Heap, 512, port.FIFO)
 	if f != nil {
@@ -152,10 +162,27 @@ func fuzzFingerprint(t *testing.T, s *gdp.System) string {
 	for _, v := range audit.New(s).CheckAll() {
 		fmt.Fprintf(&b, "violation: %s %v %s\n", v.Subsystem, v.Obj, v.Msg)
 	}
+	if sk := fuzzLedger(t, s); sk != nil {
+		fmt.Fprintf(&b, "ledger root=%s segments=%d recorded=%d dropped=%d\n",
+			sk.RootHex(), sk.Segments(), sk.Recorded(), sk.Dropped())
+	}
 	if err := s.Tracer().Dump(&b); err != nil {
 		t.Fatal(err)
 	}
 	return b.String()
+}
+
+// fuzzLedger seals and returns the system's audit-ledger sink (nil when
+// the tracer has none). Close is idempotent, so fingerprinting and byte
+// extraction can both call this.
+func fuzzLedger(t *testing.T, s *gdp.System) *ledger.Sink {
+	t.Helper()
+	sk, ok := s.Tracer().Sink().(*ledger.Sink)
+	if !ok {
+		return nil
+	}
+	sk.Close()
+	return sk
 }
 
 // corpusSeeds loads the differential-fuzz seed corpus. Any defect in the
@@ -221,19 +248,84 @@ func TestParallelDifferentialFuzz(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			var ref string
+			var refLedger []byte
 			for _, v := range variants {
 				s := buildFuzzSystem(t, seed, v.hostpar, v.nocache, v.notrace)
 				runFuzz(t, s)
 				fp := fuzzFingerprint(t, s)
+				lb := fuzzLedger(t, s).Bytes()
 				if v.name == "serial-nocache" {
 					ref = fp
+					refLedger = lb
 				} else if fp != ref {
 					t.Fatalf("%s diverged from serial-nocache for seed %d:\n--- reference ---\n%.2000s\n--- %s ---\n%.2000s",
 						v.name, seed, ref, v.name, fp)
+				} else if !bytes.Equal(lb, refLedger) {
+					// The fingerprint already commits the ledger root, so
+					// reaching here would mean a root collision; the raw
+					// comparison keeps the byte-identity claim literal.
+					t.Fatalf("%s: ledger bytes diverged from serial-nocache for seed %d", v.name, seed)
 				}
 				if v.hostpar {
 					if ps := s.ParStats(); ps.Epochs == 0 {
 						t.Fatalf("parallel backend never engaged (%s): %+v", v.name, ps)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLedgerOverloadDeterminism starves the audit ledger's pipeline (a
+// queue smaller than a pump interval, a consumer draining a fraction of
+// what arrives) under the two extreme corners of every corpus seed. The
+// point of the pump discipline is that backpressure drops are a function
+// of the event stream, never of host timing — so even a ledger that is
+// dropping most of its input must come out byte-identical, drop counters
+// included, between the serial-uncached and parallel-traced backends.
+func TestLedgerOverloadDeterminism(t *testing.T) {
+	starved := ledger.Config{SegmentEvents: 32, QueueCap: 48, PumpEvery: 96, DrainPerPump: 8}
+	for _, seed := range corpusSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			var refBytes []byte
+			var refSeq uint64
+			for _, v := range []struct {
+				name                      string
+				hostpar, nocache, notrace bool
+			}{
+				{"serial-nocache", false, true, true},
+				{"parallel-trace", true, false, false},
+			} {
+				s := buildFuzzSystemLedger(t, seed, v.hostpar, v.nocache, v.notrace, starved)
+				runFuzz(t, s)
+				sk := fuzzLedger(t, s)
+				seq, _ := s.Tracer().Snapshot()
+				if sk.Recorded()+sk.Dropped() != seq {
+					t.Fatalf("%s: recorded %d + dropped %d != emitted %d",
+						v.name, sk.Recorded(), sk.Dropped(), seq)
+				}
+				if sk.Dropped() == 0 {
+					t.Fatalf("%s: starved pipeline dropped nothing (seq=%d) — overload arm not exercised",
+						v.name, seq)
+				}
+				b := sk.Bytes()
+				if v.name == "serial-nocache" {
+					refBytes, refSeq = b, seq
+					rep, err := ledger.Verify(b)
+					if err != nil {
+						t.Fatalf("overloaded ledger failed verification: %v", err)
+					}
+					if rep.DroppedTotal() != sk.Dropped() {
+						t.Fatalf("replayed drop count %d != sink drop count %d",
+							rep.DroppedTotal(), sk.Dropped())
+					}
+				} else {
+					if seq != refSeq {
+						t.Fatalf("%s emitted %d events, reference %d", v.name, seq, refSeq)
+					}
+					if !bytes.Equal(b, refBytes) {
+						t.Fatalf("%s: overloaded ledger bytes diverged from serial-nocache", v.name)
 					}
 				}
 			}

@@ -73,7 +73,8 @@ func RunWorld(w *World) error {
 
 // Fingerprint renders everything observable about a finished run that must
 // be identical across corners: virtual time, machine stats, per-CPU
-// clocks, worker fates, the fired-event log, and the complete trace
+// clocks, worker fates, the fired-event log, the sealed audit-ledger
+// commitment (root, segment and drop counts), and the complete trace
 // stream. Parallel-backend counters are deliberately absent — they
 // describe how the run was computed, not what it computed.
 func Fingerprint(w *World) string {
@@ -96,6 +97,15 @@ func Fingerprint(w *World) string {
 	}
 	if w.Inj != nil {
 		w.Inj.Report(&b)
+	}
+	if w.IM.Ledger != nil {
+		// Sealing here is safe: the run is over, and Close is idempotent.
+		// The root commits the entire event stream, so corners agreeing
+		// on this line have byte-identical ledgers.
+		w.IM.Ledger.Close()
+		fmt.Fprintf(&b, "ledger root=%s segments=%d recorded=%d dropped=%d\n",
+			w.IM.Ledger.RootHex(), w.IM.Ledger.Segments(),
+			w.IM.Ledger.Recorded(), w.IM.Ledger.Dropped())
 	}
 	_ = w.IM.TraceLog.Dump(&b)
 	return b.String()

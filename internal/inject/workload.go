@@ -119,9 +119,14 @@ func BuildWorld(seed int64, corner Corner, injected bool) (*World, error) {
 		GCInterval:    20_000,
 		Trace:         true,
 		TraceCapacity: chaosTraceCap,
-		HostParallel:  corner.HostParallel,
-		NoExecCache:   corner.NoExecCache,
-		NoTraceJIT:    corner.NoTraceJIT,
+		// The audit ledger rides every chaos run: its root lands in the
+		// corner fingerprint (a seventh determinism witness) and the
+		// re-verification tests re-derive the confinement verdict from
+		// the sealed bytes alone.
+		Ledger:       true,
+		HostParallel: corner.HostParallel,
+		NoExecCache:  corner.NoExecCache,
+		NoTraceJIT:   corner.NoTraceJIT,
 	})
 	if err != nil {
 		return nil, err

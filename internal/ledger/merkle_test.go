@@ -1,0 +1,129 @@
+package ledger
+
+// Property tests for the commitment layer: inclusion proofs for every
+// event of random batches, consistency proofs for every prefix/extension
+// pair, and an exhaustive single-byte flip sweep over a small committed
+// ledger — any flipped byte anywhere must make verification fail naming
+// the first bad segment.
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestInclusionEveryEvent: for random batch sizes, every single event's
+// inclusion proof verifies against the ledger root, and fails against a
+// perturbed event, index, or root.
+func TestInclusionEveryEvent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 31, 32, 33, 100, 257} {
+		events := genEvents(n, uint64(n)*13)
+		segEvents := 1 + rng.Intn(40)
+		rep, err := Verify(Seal(events, Config{SegmentEvents: segEvents}))
+		if err != nil {
+			t.Fatalf("n=%d: verify: %v", n, err)
+		}
+		for i, ev := range rep.Events {
+			p, err := rep.ProveEvent(i)
+			if err != nil {
+				t.Fatalf("n=%d: prove %d: %v", n, i, err)
+			}
+			if !VerifyEvent(rep.Root, ev, p) {
+				t.Fatalf("n=%d seg=%d: event %d inclusion proof rejected", n, segEvents, i)
+			}
+			bad := ev
+			bad.Aux ^= 1
+			if VerifyEvent(rep.Root, bad, p) {
+				t.Fatalf("n=%d: perturbed event %d still proves", n, i)
+			}
+			if other := (i + 1) % len(rep.Events); other != i {
+				if VerifyEvent(rep.Root, rep.Events[other], p) {
+					t.Fatalf("n=%d: event %d proves under event %d's proof", n, other, i)
+				}
+			}
+			var badRoot [HashBytes]byte
+			copy(badRoot[:], rep.Root[:])
+			badRoot[0] ^= 1
+			if VerifyEvent(badRoot, ev, p) {
+				t.Fatalf("n=%d: event %d proves under a wrong root", n, i)
+			}
+		}
+	}
+}
+
+// TestConsistencyEveryPrefix: for every tree size up to a bound and every
+// prefix of it, the consistency proof verifies, and fails against a
+// tampered prefix root.
+func TestConsistencyEveryPrefix(t *testing.T) {
+	const maxN = 24
+	leaves := make([][HashBytes]byte, maxN)
+	for i := range leaves {
+		leaves[i] = leafHash([]byte{byte(i), byte(i >> 8)})
+	}
+	for m := 1; m <= maxN; m++ {
+		newRoot := merkleRoot(leaves[:m])
+		for n := 1; n <= m; n++ {
+			oldRoot := merkleRoot(leaves[:n])
+			proof := consistencyPath(leaves[:m], n)
+			if !VerifyConsistency(oldRoot, newRoot, n, m, proof) {
+				t.Fatalf("consistency %d→%d rejected", n, m)
+			}
+			bad := oldRoot
+			bad[3] ^= 1
+			if VerifyConsistency(bad, newRoot, n, m, proof) {
+				t.Fatalf("consistency %d→%d accepted a wrong old root", n, m)
+			}
+			if n < m {
+				if VerifyConsistency(oldRoot, newRoot, n, m, proof[:len(proof)-1]) {
+					t.Fatalf("consistency %d→%d accepted a shortened proof", n, m)
+				}
+			}
+		}
+	}
+}
+
+// TestReplayConsistency ties the prefix proofs to real ledgers: a run's
+// ledger at segment n is provably a prefix of the finished ledger.
+func TestReplayConsistency(t *testing.T) {
+	rep, err := Verify(Seal(genEvents(200, 77), Config{SegmentEvents: 16}))
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	total := len(rep.Segments)
+	for n := 1; n <= total; n++ {
+		if !VerifyConsistency(rep.RootAt(n), rep.Root, n, total, rep.ConsistencyProof(n)) {
+			t.Fatalf("prefix of %d/%d segments not provably consistent", n, total)
+		}
+	}
+}
+
+// TestExhaustiveFlipSweep: flip every bit-position-0..7 of every byte of
+// a small committed ledger; verification must fail every time with a
+// CorruptError naming a segment no later than the one containing the
+// flipped byte.
+func TestExhaustiveFlipSweep(t *testing.T) {
+	data := Seal(genEvents(48, 55), Config{SegmentEvents: 16})
+	segBytes := len(data) / 3
+	for off := 0; off < len(data); off++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[off] ^= 1 << bit
+			_, err := Verify(mut)
+			if err == nil {
+				t.Fatalf("flip byte %d bit %d accepted", off, bit)
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("flip byte %d bit %d: %v is not a CorruptError", off, bit, err)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("flip byte %d bit %d: %v does not unwrap to ErrCorrupt", off, bit, err)
+			}
+			if inSeg := off / segBytes; ce.Segment > inSeg {
+				t.Fatalf("flip in segment %d (byte %d) reported against later segment %d",
+					inSeg, off, ce.Segment)
+			}
+		}
+	}
+}

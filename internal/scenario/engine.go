@@ -134,6 +134,7 @@ func New(cfg Config) (*Engine, error) {
 		MemoryBytes:      cfg.MemoryBytes,
 		Swapping:         cfg.Swapping,
 		Trace:            cfg.Trace,
+		Ledger:           cfg.Ledger,
 		DeadlineDispatch: pm.PolicyNeedsDeadlineDispatch(cfg.Policy),
 		HostParallel:     cfg.HostParallel,
 		NoExecCache:      cfg.NoExecCache,

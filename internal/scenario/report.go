@@ -102,6 +102,15 @@ type Result struct {
 	InjectPlanned int      `json:"inject_planned,omitempty"`
 	InjectFired   int      `json:"inject_fired,omitempty"`
 	InjectByKind  []uint64 `json:"inject_by_kind,omitempty"`
+
+	// Ledger commitment (Cfg.Ledger only): the Merkle root over the
+	// sealed audit-ledger segments plus the pipeline counters. The root
+	// commits to the run's entire event history, so two same-seed runs
+	// agreeing on the canonical fingerprint agree on every kernel event.
+	LedgerRoot     string `json:"ledger_root,omitempty"`
+	LedgerSegments int    `json:"ledger_segments,omitempty"`
+	LedgerEvents   uint64 `json:"ledger_events,omitempty"`
+	LedgerDropped  uint64 `json:"ledger_dropped,omitempty"`
 }
 
 // result assembles the Result from the engine's final state.
@@ -163,6 +172,13 @@ func (e *Engine) result() *Result {
 		r.InjectPlanned = len(e.Inj.Plan().Events)
 		r.InjectFired = len(e.Inj.Fired())
 		r.InjectByKind = e.Inj.FiredByKind()
+	}
+	if lg := e.IM.Ledger; lg != nil {
+		lg.Close() // idempotent; seals the final short segment
+		r.LedgerRoot = lg.RootHex()
+		r.LedgerSegments = lg.Segments()
+		r.LedgerEvents = lg.Recorded()
+		r.LedgerDropped = lg.Dropped()
 	}
 	return r
 }

@@ -121,6 +121,11 @@ type Config struct {
 	HostParallel bool
 	NoExecCache  bool
 	Trace        bool
+	// Ledger attaches the tamper-evident audit ledger (internal/ledger)
+	// to the trace stream; the sealed ledger's Merkle root lands in the
+	// Result, so the canonical fingerprint commits to the full event
+	// history of the run.
+	Ledger bool
 
 	// StepQuantum is the driver step size, which is also the completion
 	// measurement granularity (default 2000 cycles).

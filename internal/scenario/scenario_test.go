@@ -2,9 +2,11 @@ package scenario
 
 import (
 	"bytes"
+	"encoding/hex"
 	"testing"
 
 	"repro/internal/audit"
+	"repro/internal/ledger"
 )
 
 // testSessions scales the determinism regression: 10⁴ sessions as the
@@ -151,5 +153,63 @@ func TestScenarioSerialParallelDifferential(t *testing.T) {
 	}
 	if serial.IM.Now() != par.IM.Now() {
 		t.Fatalf("final virtual time diverges: %v vs %v", serial.IM.Now(), par.IM.Now())
+	}
+}
+
+// TestScenarioLedgerFingerprint: with Cfg.Ledger set, the sealed audit
+// ledger's Merkle root lands in the canonical Result, two same-seed runs
+// commit to the same root with byte-identical ledgers, and the bytes
+// self-verify with counters matching the live ring.
+func TestScenarioLedgerFingerprint(t *testing.T) {
+	withLedger := func(c *Config) { c.Trace = true; c.Ledger = true }
+	e1, r1 := runPreset(t, "baseline", 400, 13, withLedger)
+	e2, r2 := runPreset(t, "baseline", 400, 13, withLedger)
+
+	if r1.LedgerRoot == "" || r1.LedgerSegments == 0 || r1.LedgerEvents == 0 {
+		t.Fatalf("ledger commitment missing from result: root=%q segments=%d events=%d",
+			r1.LedgerRoot, r1.LedgerSegments, r1.LedgerEvents)
+	}
+	if r1.LedgerDropped != 0 {
+		t.Fatalf("default ledger config dropped %d events", r1.LedgerDropped)
+	}
+	if r1.LedgerRoot != r2.LedgerRoot || r1.Fingerprint() != r2.Fingerprint() {
+		t.Fatalf("same-seed ledger roots diverge: %s vs %s", r1.LedgerRoot, r2.LedgerRoot)
+	}
+	b, err := r1.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(r1.LedgerRoot)) {
+		t.Fatalf("ledger root not committed by the canonical JSON")
+	}
+	if !bytes.Equal(e1.IM.Ledger.Bytes(), e2.IM.Ledger.Bytes()) {
+		t.Fatalf("same-seed ledgers are not byte-identical")
+	}
+
+	rep, err := ledger.Verify(e1.IM.Ledger.Bytes())
+	if err != nil {
+		t.Fatalf("scenario ledger does not verify: %v", err)
+	}
+	if got := hex.EncodeToString(rep.Root[:]); got != r1.LedgerRoot {
+		t.Fatalf("replay root %s != result root %s", got, r1.LedgerRoot)
+	}
+	seq, counts := e1.IM.TraceLog.Snapshot()
+	if uint64(len(rep.Events)) != seq {
+		t.Fatalf("ledger replayed %d events, ring emitted %d", len(rep.Events), seq)
+	}
+	for k, n := range counts {
+		var got uint64
+		if k < len(rep.Counts) {
+			got = rep.Counts[k]
+		}
+		if got != n {
+			t.Fatalf("kind %d: ledger count %d, ring count %d", k, got, n)
+		}
+	}
+
+	// A run without the ledger omits the commitment entirely.
+	_, plain := runPreset(t, "baseline", 400, 13, func(c *Config) { c.Trace = true })
+	if plain.LedgerRoot != "" || plain.LedgerSegments != 0 {
+		t.Fatalf("ledger fields leaked into a ledger-less result: %+v", plain)
 	}
 }

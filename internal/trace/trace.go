@@ -72,32 +72,32 @@ const (
 )
 
 var kindNames = [...]string{
-	EvNone:      "none",
-	EvObjCreate: "obj.create",
+	EvNone:       "none",
+	EvObjCreate:  "obj.create",
 	EvObjDestroy: "obj.destroy",
-	EvADStore:   "obj.adstore",
-	EvGray:      "obj.gray",
-	EvSwapOut:   "mm.swapout",
-	EvSwapIn:    "mm.swapin",
-	EvSend:      "port.send",
-	EvRecv:      "port.recv",
-	EvPark:      "port.park",
-	EvUnpark:    "port.unpark",
-	EvCancel:    "port.cancel",
-	EvGCPhase:   "gc.phase",
-	EvGCMark:    "gc.mark",
-	EvGCReclaim: "gc.reclaim",
-	EvGCFilter:  "gc.filter",
-	EvSpawn:     "proc.spawn",
-	EvDispatch:  "proc.dispatch",
-	EvPreempt:   "proc.preempt",
-	EvProcState: "proc.state",
-	EvFault:     "proc.fault",
-	EvTerminate: "proc.terminate",
-	EvStop:      "pm.stop",
-	EvStart:     "pm.start",
-	EvTimer:     "proc.timer",
-	EvInject:    "inject.fire",
+	EvADStore:    "obj.adstore",
+	EvGray:       "obj.gray",
+	EvSwapOut:    "mm.swapout",
+	EvSwapIn:     "mm.swapin",
+	EvSend:       "port.send",
+	EvRecv:       "port.recv",
+	EvPark:       "port.park",
+	EvUnpark:     "port.unpark",
+	EvCancel:     "port.cancel",
+	EvGCPhase:    "gc.phase",
+	EvGCMark:     "gc.mark",
+	EvGCReclaim:  "gc.reclaim",
+	EvGCFilter:   "gc.filter",
+	EvSpawn:      "proc.spawn",
+	EvDispatch:   "proc.dispatch",
+	EvPreempt:    "proc.preempt",
+	EvProcState:  "proc.state",
+	EvFault:      "proc.fault",
+	EvTerminate:  "proc.terminate",
+	EvStop:       "pm.stop",
+	EvStart:      "pm.start",
+	EvTimer:      "proc.timer",
+	EvInject:     "inject.fire",
 }
 
 func (k Kind) String() string {
@@ -127,6 +127,14 @@ func (e Event) String() string {
 		e.Seq, e.Kind, e.Obj, e.Arg, e.Aux)
 }
 
+// Sink receives every emitted event, in emission order, under the log's
+// lock — implementations must not call back into the Log. The audit
+// ledger (internal/ledger) is the standing implementation; the hook is
+// nil-safe and costs one predictable branch per Emit when unset.
+type Sink interface {
+	Record(Event)
+}
+
 // Log is a bounded kernel event ring plus cumulative counters. A nil *Log
 // is a valid, always-disabled log: every method is a cheap no-op, which is
 // the "nil sink" the kernel hook sites rely on.
@@ -137,6 +145,7 @@ type Log struct {
 	filled bool    // ring has wrapped at least once
 	seq    uint64
 	counts [numKinds]uint64
+	sink   Sink
 }
 
 // DefaultCapacity is the ring capacity used when New is given a
@@ -162,13 +171,39 @@ func (l *Log) Emit(k Kind, obj, arg uint32, aux uint64) {
 	l.mu.Lock()
 	l.seq++
 	l.counts[k]++
-	l.events[l.next] = Event{Seq: l.seq, Kind: k, Obj: obj, Arg: arg, Aux: aux}
+	ev := Event{Seq: l.seq, Kind: k, Obj: obj, Arg: arg, Aux: aux}
+	l.events[l.next] = ev
 	l.next++
 	if l.next == len(l.events) {
 		l.next = 0
 		l.filled = true
 	}
+	if l.sink != nil {
+		l.sink.Record(ev)
+	}
 	l.mu.Unlock()
+}
+
+// SetSink attaches (or with nil detaches) a downstream sink. Every event
+// emitted from here on is also delivered to the sink, under the log's
+// lock and in sequence order.
+func (l *Log) SetSink(s Sink) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.sink = s
+	l.mu.Unlock()
+}
+
+// Sink returns the attached sink, or nil.
+func (l *Log) Sink() Sink {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sink
 }
 
 // Seq reports the total number of events emitted (including any the ring
@@ -190,6 +225,23 @@ func (l *Log) Count(k Kind) uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.counts[k]
+}
+
+// Snapshot returns the sequence number and a copy of the per-kind
+// counters under a single lock acquisition — one consistent view, where a
+// Seq call followed by per-kind Count calls takes one lock each and can
+// interleave with emissions. Hot loops (and the ledger cross-checks)
+// should prefer this over repeated Count calls.
+func (l *Log) Snapshot() (seq uint64, counts []uint64) {
+	counts = make([]uint64, numKinds)
+	if l == nil {
+		return 0, counts
+	}
+	l.mu.Lock()
+	seq = l.seq
+	copy(counts, l.counts[:])
+	l.mu.Unlock()
+	return seq, counts
 }
 
 // Counts returns a copy of the cumulative per-kind counters, indexed by
@@ -222,6 +274,11 @@ func (l *Log) Events() []Event {
 
 // Reset clears the ring and counters; the sequence number keeps running
 // so post-reset events remain globally ordered against earlier dumps.
+// Reset does NOT reach the attached sink: the ring is a view, the sink is
+// the pipeline, and segments a ledger sink has already sealed from
+// pre-reset events survive (by design — an operator clearing the ring
+// must not be able to erase audit history). Only the sink's own queue of
+// not-yet-sealed events would still mention pre-reset activity.
 func (l *Log) Reset() {
 	if l == nil {
 		return
