@@ -44,15 +44,23 @@ func (s *System) Step(quantum vtime.Cycles) (bool, *obj.Fault) {
 		}
 		s.busyThisStep = busy
 	}
+	// Pipelined continuations from the previous step are judged before
+	// anything else mutates the machine, then reservations are topped up —
+	// identically in every corner, so the grants are part of the common
+	// serial prefix of each step rather than of any one backend.
+	s.pipeCheck(quantum)
+	s.refillReservations()
 	if s.parallelEligible() && !s.injectionImminent(quantum) {
 		if s.parCoolLeft > 0 {
 			// Abort backoff: recent epochs kept discarding, so run
 			// serially for a while before paying for speculation again.
 			s.parCoolLeft--
+			s.dropStashes()
 			return s.stepSerial(quantum)
 		}
 		return s.stepParallel(quantum)
 	}
+	s.dropStashes()
 	return s.stepSerial(quantum)
 }
 
@@ -578,7 +586,7 @@ func (s *System) execInstr(cpu *CPU, proc, ctx obj.AD, in isa.Instr) (vtime.Cycl
 		if f != nil {
 			return vtime.CostCreateObject, f
 		}
-		ad, f := s.SROs.Create(sroAD, obj.CreateSpec{
+		ad, f := s.createObject(cpu, sroAD, obj.CreateSpec{
 			Type:        obj.TypeGeneric,
 			DataLen:     size,
 			AccessSlots: slots,

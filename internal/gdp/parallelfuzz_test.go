@@ -66,8 +66,9 @@ func buildFuzzSystemLedger(t *testing.T, seed int64, hostpar, nocache, notrace b
 			t.Fatal(f)
 		}
 		iters := uint32(300 + rng.Intn(2500))
+		aargs := [4]obj.AD{result, shared}
 		var prog []isa.Instr
-		switch rng.Intn(4) {
+		switch rng.Intn(5) {
 		case 0: // pure compute: sum the countdown
 			prog = []isa.Instr{
 				isa.MovI(1, iters),
@@ -115,6 +116,25 @@ func buildFuzzSystemLedger(t *testing.T, seed int64, hostpar, nocache, notrace b
 				isa.Br(2), // back into the hot loop
 				isa.Halt(),
 			}
+		case 4: // the paper's E2 allocate shape: a tight create loop with a
+			// bystander read each iteration. Creates are structural twice
+			// over (free-list pop, first-fit allocation), so this shape is
+			// what reservations exist for: under the parallel backend these
+			// creates must commit in-fork from reserved capacity, and the
+			// differential corners prove the reserved path, the structural
+			// path, and the serial replays all produce identical bytes.
+			aargs[2] = s.Heap
+			prog = []isa.Instr{
+				isa.MovI(1, 200+iters/8),
+				isa.MovI(2, 24),
+				isa.Create(3, 2, 2), // loop head: a3 ← new object from a2
+				isa.Store(1, 3, 0),  // initialise it (in-fork write)
+				isa.Load(4, 0, 0),   // bystander read of the result object
+				isa.AddI(1, 1, ^uint32(0)),
+				isa.BrNZ(1, 2),
+				isa.Store(4, 0, 0),
+				isa.Halt(),
+			}
 		}
 		dom, f := s.Domains.CreateCode(s.Heap, prog)
 		if f != nil {
@@ -128,7 +148,7 @@ func buildFuzzSystemLedger(t *testing.T, seed int64, hostpar, nocache, notrace b
 		if _, f := s.Spawn(d, gdp.SpawnSpec{
 			Priority:  uint16(rng.Intn(4)),
 			TimeSlice: slices[rng.Intn(len(slices))],
-			AArgs:     [4]obj.AD{result, shared},
+			AArgs:     aargs,
 		}); f != nil {
 			t.Fatal(f)
 		}
@@ -244,6 +264,7 @@ func TestParallelDifferentialFuzz(t *testing.T) {
 		{"parallel-cache", true, false, true},
 		{"parallel-trace", true, false, false},
 	}
+	var forkCreates, pipeLaunches uint64
 	for _, seed := range corpusSeeds(t) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
@@ -267,12 +288,24 @@ func TestParallelDifferentialFuzz(t *testing.T) {
 					t.Fatalf("%s: ledger bytes diverged from serial-nocache for seed %d", v.name, seed)
 				}
 				if v.hostpar {
-					if ps := s.ParStats(); ps.Epochs == 0 {
+					ps := s.ParStats()
+					if ps.Epochs == 0 {
 						t.Fatalf("parallel backend never engaged (%s): %+v", v.name, ps)
 					}
+					forkCreates += ps.ForkCreates
+					pipeLaunches += ps.PipeLaunches
 				}
 			}
 		})
+	}
+	// The corpus contains allocation-heavy seeds selected to exercise the
+	// reserved-create and pipelined-continuation machinery; a corpus where
+	// neither ever fires would be green while covering nothing.
+	if forkCreates == 0 {
+		t.Error("no fuzz seed committed a create in-fork — the reserved-create path went unexercised")
+	}
+	if pipeLaunches == 0 {
+		t.Error("no fuzz seed launched a pipelined continuation — the pipeline went unexercised")
 	}
 }
 

@@ -158,6 +158,27 @@ type System struct {
 	cfPairs     [][2]int
 	cfWrites    []obj.Index
 
+	// Epoch-pipeline state (parallel.go). pipeOff disables pipelined
+	// continuations (Config.NoPipeline); structOff disables in-fork
+	// structural commit via reservations (Config.NoStructuralCommit).
+	// After a step whose fast groups ran the next quantum speculatively,
+	// pipeHave is set, pipeQuantum/pipeTraced record the conditions the
+	// continuations assumed, and pipeMutSnap snapshots Table.MutGen() so
+	// any external mutation between steps invalidates them (pipeCheck).
+	// pipeHarvest is the per-step verdict; lwDescs/lwPages map the
+	// last-committed epoch's descriptor and page writes to group bitmasks,
+	// so a continuation can prove its footprint disjoint from every other
+	// group's commits (stashValid).
+	pipeOff     bool
+	structOff   bool
+	pipeHave    bool
+	pipeHarvest bool
+	pipeTraced  bool
+	pipeQuantum vtime.Cycles
+	pipeMutSnap uint64
+	lwDescs     map[obj.Index]uint64
+	lwPages     map[uint32]uint64
+
 	// Conflict-affinity scheduling state (parallel.go). affinity maps a
 	// canonical processor-pair key to a decayed conflict score; groups is
 	// the current epoch's partition (leader-ordered, members ascending),
@@ -200,16 +221,29 @@ type System struct {
 	faultsSent   uint64
 	instructions uint64
 
-	// Parallel-backend stats.
-	parEpochs    uint64
-	parCommits   uint64
-	parConflicts uint64
-	parAborts    uint64
-	parReplays   uint64
-	parCooldowns uint64
-	parScopedInv uint64
-	parSurvivals uint64
-	parRegroups  uint64
+	// Parallel-backend stats. parAborts splits by cause into
+	// parAbortsStruct (unreservable structural operations), parAbortsRes
+	// (reservation exhaustion mid-epoch), and parAbortsOther (faults,
+	// trace-ring overflow). parPipeLaunches counts quanta run as pipelined
+	// continuations, parPipeCommits those harvested without re-execution,
+	// parPipeDrops continuations discarded at validation. parForkCreates
+	// counts objects created from reservations (committed or serial).
+	parEpochs       uint64
+	parCommits      uint64
+	parConflicts    uint64
+	parAborts       uint64
+	parAbortsStruct uint64
+	parAbortsRes    uint64
+	parAbortsOther  uint64
+	parReplays      uint64
+	parCooldowns    uint64
+	parScopedInv    uint64
+	parSurvivals    uint64
+	parRegroups     uint64
+	parPipeLaunches uint64
+	parPipeCommits  uint64
+	parPipeDrops    uint64
+	parForkCreates  uint64
 }
 
 type bodyReg struct {
@@ -272,6 +306,23 @@ type Config struct {
 	// differential determinism harnesses. Implied by NoExecCache: traces
 	// only ever run from a live execution cache.
 	NoTraceJIT bool
+
+	// NoPipeline disables pipelined epoch continuations on the parallel
+	// backend, restoring the strict per-step barrier: every group waits
+	// for every other group's commit before starting its next quantum.
+	// Results are identical either way (see DESIGN.md §13).
+	NoPipeline bool
+
+	// NoStructuralCommit disables per-CPU reservations, so every create
+	// instruction takes the structural path — aborting the epoch when it
+	// happens inside a fork, exactly the pre-reservation behaviour.
+	// Serial and parallel backends stay byte-identical at either setting,
+	// but the two settings are distinct canonical schedules: reservations
+	// batch-pop free-list slots at refill time, so objects may land in
+	// different (equally valid) descriptor slots than pop-at-create
+	// assigns. The switch exists for measuring what in-fork structural
+	// commit buys.
+	NoStructuralCommit bool
 }
 
 // New boots a system: memory, object table, the system global heap, the
@@ -333,6 +384,8 @@ func New(cfg Config) (*System, error) {
 		deadlineBase: deadlineBase,
 		hostpar:      cfg.HostParallel,
 		parCooldown:  parCooldown,
+		pipeOff:      cfg.NoPipeline,
+		structOff:    cfg.NoStructuralCommit,
 		xcOff:        cfg.NoExecCache,
 		trOff:        cfg.NoTraceJIT,
 		bodies:       make(map[obj.Index]bodyReg),

@@ -17,9 +17,15 @@ package mem
 // them and marks itself aborted, which the driver turns into a serial
 // replay of the whole epoch.
 //
-// Stamps are epoch numbers rather than booleans so that starting a new
-// epoch is O(1): bumping the epoch invalidates every page's copied/read/
-// written state at once.
+// Pipelining splits the old single epoch stamp in two. The *chain* stamp
+// says "this shadow page holds bytes copied from the parent at the start
+// of the current fork chain"; the *epoch* stamp says "this page's
+// footprint bits belong to the current epoch". ForkReset bumps both (a
+// fresh fork chain); ForkStash bumps only the epoch — the shadow pages
+// stay valid, carrying epoch k's values into the speculative epoch k+1
+// that the same fork continues into while k awaits its commit ticket.
+// The stash itself value-snapshots k's footprint and written-page images,
+// because the continuation overwrites the shadow in place.
 
 import "math/bits"
 
@@ -43,16 +49,28 @@ func (b *PageBits) setRange(lo, hi uint32) { // [lo, hi) within the page
 
 type memFork struct {
 	parent    *Memory
-	shadow    []byte // full-size shadow image; valid only where copied
-	copied    []uint32
+	shadow    []byte   // full-size shadow image; valid only where chain-stamped
+	copied    []uint32 // chain stamp: shadow[p] copied from parent this chain
+	bitS      []uint32 // epoch stamp: readBits/writeBits[p] belong to this epoch
 	readS     []uint32
 	writeS    []uint32
-	readBits  []PageBits // per page, valid only where copied this epoch
+	readBits  []PageBits // per page, valid only where bitS matches the epoch
 	writeBits []PageBits
 	reads     []uint32 // pages first read this epoch
 	writes    []uint32 // pages first written this epoch
+	chain     uint32
 	epoch     uint32
 	abort     bool
+
+	// Stash of the previous epoch, held while the fork speculates ahead.
+	// stReadBits/stWriteBits parallel stReads/stWrites; stImage holds one
+	// forkPageSize block per stashed written page.
+	stReads     []uint32
+	stWrites    []uint32
+	stReadBits  []PageBits
+	stWriteBits []PageBits
+	stImage     []byte
+	stashed     bool
 }
 
 // Fork returns an epoch-fork view of m. The fork shares m's backing bytes
@@ -70,10 +88,12 @@ func (m *Memory) Fork() *Memory {
 			parent:    m,
 			shadow:    make([]byte, len(m.data)),
 			copied:    make([]uint32, pages),
+			bitS:      make([]uint32, pages),
 			readS:     make([]uint32, pages),
 			writeS:    make([]uint32, pages),
 			readBits:  make([]PageBits, pages),
 			writeBits: make([]PageBits, pages),
+			chain:     1,
 			epoch:     1,
 		},
 	}
@@ -82,14 +102,19 @@ func (m *Memory) Fork() *Memory {
 // IsFork reports whether this Memory is an epoch-fork view.
 func (m *Memory) IsFork() bool { return m.fk != nil }
 
-// ForkReset begins a new speculation epoch: footprints clear, the abort
-// flag drops, and every shadow page is considered stale. O(1) except on
-// epoch-counter wrap.
+// ForkReset begins a new speculation epoch against the parent's current
+// bytes: footprints clear, the abort flag drops, any stash is discarded,
+// and every shadow page is considered stale. O(1) except on counter wrap.
 func (m *Memory) ForkReset() {
 	fk := m.fk
-	fk.epoch++
-	if fk.epoch == 0 { // wrapped: stamps are ambiguous, scrub them
+	fk.chain++
+	if fk.chain == 0 { // wrapped: stamps are ambiguous, scrub them
 		clear(fk.copied)
+		fk.chain = 1
+	}
+	fk.epoch++
+	if fk.epoch == 0 {
+		clear(fk.bitS)
 		clear(fk.readS)
 		clear(fk.writeS)
 		fk.epoch = 1
@@ -97,6 +122,47 @@ func (m *Memory) ForkReset() {
 	fk.reads = fk.reads[:0]
 	fk.writes = fk.writes[:0]
 	fk.abort = false
+	fk.stashed = false
+}
+
+// ForkStash freezes the current epoch's footprint and written-page images
+// for a later ordered commit (ForkCommitPending) and starts the next
+// epoch in the same fork. Shadow pages stay valid — the continuation
+// epoch reads the stashed epoch's values through them — but footprint
+// bits go stale, so the new epoch records its own byte footprint from
+// scratch. The caller must have established that the stashed epoch is
+// clean (no abort) before stashing.
+func (m *Memory) ForkStash() {
+	fk := m.fk
+	fk.stReads = append(fk.stReads[:0], fk.reads...)
+	fk.stWrites = append(fk.stWrites[:0], fk.writes...)
+	fk.stReadBits = fk.stReadBits[:0]
+	for _, p := range fk.reads {
+		fk.stReadBits = append(fk.stReadBits, fk.readBits[p])
+	}
+	fk.stWriteBits = fk.stWriteBits[:0]
+	fk.stImage = fk.stImage[:0]
+	for _, p := range fk.writes {
+		fk.stWriteBits = append(fk.stWriteBits, fk.writeBits[p])
+		base := p << forkPageShift
+		end := base + forkPageSize
+		if end > uint32(len(fk.shadow)) {
+			end = uint32(len(fk.shadow))
+		}
+		var page [forkPageSize]byte
+		copy(page[:], fk.shadow[base:end])
+		fk.stImage = append(fk.stImage, page[:]...)
+	}
+	fk.stashed = true
+	fk.epoch++
+	if fk.epoch == 0 {
+		clear(fk.bitS)
+		clear(fk.readS)
+		clear(fk.writeS)
+		fk.epoch = 1
+	}
+	fk.reads = fk.reads[:0]
+	fk.writes = fk.writes[:0]
 }
 
 // ForkCommit copies every byte the fork wrote this epoch back into the
@@ -120,11 +186,37 @@ func (m *Memory) ForkCommit() {
 	}
 }
 
+// ForkCommitPending publishes the stashed epoch's writes into the parent,
+// byte-exact from the stashed page images. The fork's live shadow (which
+// has moved on to the continuation epoch) is untouched.
+func (m *Memory) ForkCommitPending() {
+	fk := m.fk
+	for j, p := range fk.stWrites {
+		base := p << forkPageShift
+		img := fk.stImage[j*forkPageSize:]
+		wb := &fk.stWriteBits[j]
+		for w, word := range wb {
+			for word != 0 {
+				i := bits.TrailingZeros64(word)
+				word &= word - 1
+				off := uint32(w)<<6 + uint32(i)
+				fk.parent.data[base+off] = img[off]
+			}
+		}
+	}
+	fk.stashed = false
+}
+
 // ForkFootprint reports the page indices the fork read and wrote this
 // epoch. The slices are owned by the fork and valid until the next
-// ForkReset.
+// ForkReset or ForkStash.
 func (m *Memory) ForkFootprint() (reads, writes []uint32) {
 	return m.fk.reads, m.fk.writes
+}
+
+// ForkPendingFootprint reports the stashed epoch's page footprint.
+func (m *Memory) ForkPendingFootprint() (reads, writes []uint32) {
+	return m.fk.stReads, m.fk.stWrites
 }
 
 // ForkPageFootprint reports the byte-granular footprint of page p this
@@ -132,8 +224,28 @@ func (m *Memory) ForkFootprint() (reads, writes []uint32) {
 // Pages the fork never touched report all-zero.
 func (m *Memory) ForkPageFootprint(p uint32) (read, write PageBits) {
 	fk := m.fk
-	if p < uint32(len(fk.copied)) && fk.copied[p] == fk.epoch {
+	if p < uint32(len(fk.bitS)) && fk.bitS[p] == fk.epoch {
 		read, write = fk.readBits[p], fk.writeBits[p]
+	}
+	return read, write
+}
+
+// ForkPendingPageFootprint reports the stashed epoch's byte-granular
+// footprint of page p. Linear in the stash size — the driver calls it
+// only for pages already known shared via the page lists.
+func (m *Memory) ForkPendingPageFootprint(p uint32) (read, write PageBits) {
+	fk := m.fk
+	for j, q := range fk.stReads {
+		if q == p {
+			read = fk.stReadBits[j]
+			break
+		}
+	}
+	for j, q := range fk.stWrites {
+		if q == p {
+			write = fk.stWriteBits[j]
+			break
+		}
 	}
 	return read, write
 }
@@ -144,7 +256,9 @@ func (m *Memory) ForkAborted() bool { return m.fk.abort }
 
 // touch prepares the pages covering [b, b+n) for access and returns the
 // shadow image to index into. Every touched page is copied from the parent
-// once per epoch, so multi-byte accesses spanning pages stay coherent.
+// once per fork chain (not per epoch — a stash-continued epoch keeps
+// reading its predecessor's values), and its footprint bits are cleared
+// once per epoch.
 func (fk *memFork) touch(b Addr, n uint32, write bool) []byte {
 	if n == 0 {
 		return fk.shadow
@@ -153,13 +267,16 @@ func (fk *memFork) touch(b Addr, n uint32, write bool) []byte {
 	hi := (uint32(b) + n - 1) >> forkPageShift
 	for p := lo; p <= hi; p++ {
 		base := p << forkPageShift
-		if fk.copied[p] != fk.epoch {
-			fk.copied[p] = fk.epoch
+		if fk.copied[p] != fk.chain {
+			fk.copied[p] = fk.chain
 			end := base + forkPageSize
 			if end > uint32(len(fk.parent.data)) {
 				end = uint32(len(fk.parent.data))
 			}
 			copy(fk.shadow[base:end], fk.parent.data[base:end])
+		}
+		if fk.bitS[p] != fk.epoch {
+			fk.bitS[p] = fk.epoch
 			fk.readBits[p] = PageBits{}
 			fk.writeBits[p] = PageBits{}
 		}
@@ -202,5 +319,6 @@ func (m *Memory) rw(b Addr, n uint32) []byte {
 	if m.fk != nil {
 		return m.fk.touch(b, n, true)
 	}
+	m.muts++
 	return m.data
 }

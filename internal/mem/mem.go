@@ -57,6 +57,13 @@ type Memory struct {
 	free []Extent // sorted by Base, coalesced
 	used uint32
 
+	// muts counts external mutations (writes, allocation, freeing) on a
+	// non-fork memory. The parallel driver snapshots it to detect state
+	// changes made outside the epoch engine — epoch-fork commits
+	// deliberately do not bump it, because the driver accounts for its
+	// own committed writes separately.
+	muts uint64
+
 	// fk marks this Memory as an epoch-fork view (see fork.go): reads
 	// and writes are routed through a copy-on-write shadow and recorded
 	// as footprints, and structural operations abort the fork.
@@ -97,6 +104,11 @@ func (m *Memory) LargestFree() uint32 {
 // of external fragmentation used by the E2/E9 experiments.
 func (m *Memory) FragCount() int { return len(m.free) }
 
+// MutGen reports a counter that advances on every mutation performed
+// outside the epoch-fork engine: byte writes, allocation, freeing,
+// relocation. Fork commits do not advance it.
+func (m *Memory) MutGen() uint64 { return m.muts }
+
 // Alloc carves a segment of n bytes from physical memory using first-fit,
 // the policy simple enough to microcode (the 432 performed allocation in
 // the create-object instruction, so the policy had to be trivial).
@@ -124,6 +136,7 @@ func (m *Memory) Alloc(n uint32) (Extent, error) {
 			m.free[i] = Extent{Base: e.Base + Addr(n), Len: e.Len - n}
 		}
 		m.used += n
+		m.muts++
 		// The hardware zeroed fresh segments: a new object must not
 		// leak a previous object's contents through a fresh
 		// capability.
@@ -162,6 +175,7 @@ func (m *Memory) Free(e Extent) error {
 	copy(m.free[i+1:], m.free[i:])
 	m.free[i] = e
 	m.used -= e.Len
+	m.muts++
 	m.coalesce(i)
 	return nil
 }

@@ -17,22 +17,61 @@ import "repro/internal/mem"
 // descriptors touched, descriptors actually changed (detected by comparing
 // shadow against parent), memory pages read and written — and commits the
 // forks in canonical processor order only if the footprints are pairwise
-// non-conflicting. Any structural operation (object creation or
-// destruction, swapping, collector entry points) cannot be replayed
-// against the shadow without renumbering table slots or the free list, so
-// it marks the fork aborted; the driver then discards every fork and
-// replays the epoch serially, which is trivially byte-identical to the
-// serial backend because speculation never touched real state.
+// non-conflicting. Structural operations that reorder shared allocator
+// state (destruction, swapping, collector entry points, creation outside
+// a reservation) mark the fork aborted; the driver then discards every
+// fork and replays the epoch serially, which is trivially byte-identical
+// to the serial backend because speculation never touched real state.
+// Creation against a per-CPU reservation (reserve.go) is the exception:
+// it consumes pre-granted slots and arena bytes, so it commits with the
+// epoch's write set instead of aborting it.
+//
+// Pipelining adds ForkStash: a fork whose epoch finished cleanly can
+// freeze that epoch's footprint and values for a later in-order commit
+// (ForkCommitPending) and immediately continue into the next epoch in the
+// same shadow. The shadow's copied-from-parent validity is tracked by a
+// *chain* stamp that survives the stash — the continuation epoch reads
+// its predecessor's uncommitted values — while per-epoch footprint
+// membership is tracked by a separate *epoch* stamp that the stash bumps.
 type tableFork struct {
 	parent  *Table
 	shadow  []Descriptor
-	stamp   []uint32 // epoch when shadow[i] was copied from the parent
-	touched []Index  // slots copied this epoch (the read footprint)
-	writes  []Index  // scratch reused by ForkDescWrites across epochs
+	stamp   []uint32 // chain stamp: epoch when shadow[i] was copied from the parent
+	estamp  []uint32 // epoch stamp: whether slot i is in this epoch's touched list
+	touched []Index  // slots resolved this epoch (the read footprint)
+	writes  []Index  // scratch reused by ForkDescWrites/commits across epochs
 	hazards []Index  // objects that took cache-hazard AD stores this epoch
+	chain   uint32
 	epoch   uint32
 	abort   bool
+	reason  ForkAbortReason
+	created int // objects created from reservations this epoch
+
+	// Stash of the previous epoch, held while the fork speculates ahead.
+	stTouched  []Index
+	stWrites   []Index
+	stVals     []Descriptor // parallel to stWrites: the values to commit
+	stHazards  []Index
+	stCreated  int
+	stAdStores uint64
+	stGrayings uint64
+	stashed    bool
 }
+
+// ForkAbortReason classifies why a fork aborted its epoch, for the
+// driver's split abort accounting.
+type ForkAbortReason uint8
+
+const (
+	// ForkAbortNone: the epoch is clean.
+	ForkAbortNone ForkAbortReason = iota
+	// ForkAbortStructural: a structural operation (destroy, swap,
+	// allocator mutation, unreserved create) cannot be speculated.
+	ForkAbortStructural
+	// ForkAbortReservation: a reservation-backed operation ran out of
+	// pre-granted capacity and needs a serial top-up.
+	ForkAbortReservation
+)
 
 // Fork returns an epoch-fork view of the table: same objects, same
 // generations, but all descriptor and memory mutation lands in epoch-local
@@ -45,6 +84,7 @@ func (t *Table) Fork() *Table {
 		mem: t.mem.Fork(),
 		fk: &tableFork{
 			parent: t,
+			chain:  1,
 			epoch:  1,
 		},
 	}
@@ -53,34 +93,92 @@ func (t *Table) Fork() *Table {
 // IsFork reports whether this table is an epoch-fork view.
 func (t *Table) IsFork() bool { return t.fk != nil }
 
-// ForkReset begins a new speculation epoch: the shadow empties, the
-// footprints clear, the abort flag drops, and the per-epoch stats counters
-// rewind. O(1) in the table size except when the parent grew.
+// ForkReset begins a new speculation epoch against the parent's current
+// state: the shadow empties, the footprints clear, any stash drops, the
+// abort flag drops, and the per-epoch stats counters rewind. O(1) in the
+// table size except when the parent grew.
 func (t *Table) ForkReset() {
 	fk := t.fk
-	fk.epoch++
-	if fk.epoch == 0 { // stamp wrap: scrub rather than alias epochs
+	fk.chain++
+	if fk.chain == 0 { // stamp wrap: scrub rather than alias epochs
 		clear(fk.stamp)
+		fk.chain = 1
+	}
+	fk.epoch++
+	if fk.epoch == 0 {
+		clear(fk.estamp)
 		fk.epoch = 1
 	}
 	if n := len(fk.parent.descs); n > len(fk.shadow) {
 		fk.shadow = append(fk.shadow, make([]Descriptor, n-len(fk.shadow))...)
 		fk.stamp = append(fk.stamp, make([]uint32, n-len(fk.stamp))...)
+		fk.estamp = append(fk.estamp, make([]uint32, n-len(fk.estamp))...)
 	}
 	fk.touched = fk.touched[:0]
 	fk.hazards = fk.hazards[:0]
 	fk.abort = false
+	fk.reason = ForkAbortNone
+	fk.created = 0
+	fk.stashed = false
+	fk.stCreated = 0
 	t.adStores, t.grayings = 0, 0
 	t.mem.ForkReset()
 }
 
-// ForkAborted reports whether this epoch hit a structural operation (in
-// the table or in memory) and must be discarded.
+// ForkStash freezes the current (clean) epoch — its read footprint, its
+// descriptor diffs by value, its hazards and stats deltas — for a later
+// in-order ForkCommitPending, and starts the continuation epoch in the
+// same shadow. The continuation reads the stashed epoch's values (chain
+// stamps survive) but records a fresh footprint (epoch stamps bump).
+func (t *Table) ForkStash() {
+	fk := t.fk
+	fk.stTouched = append(fk.stTouched[:0], fk.touched...)
+	fk.stWrites = fk.stWrites[:0]
+	fk.stVals = fk.stVals[:0]
+	for _, idx := range fk.touched {
+		if fk.shadow[idx] != fk.parent.descs[idx] {
+			fk.stWrites = append(fk.stWrites, idx)
+			fk.stVals = append(fk.stVals, fk.shadow[idx])
+		}
+	}
+	fk.stHazards = append(fk.stHazards[:0], fk.hazards...)
+	fk.stCreated = fk.created
+	fk.stAdStores = t.adStores
+	fk.stGrayings = t.grayings
+	fk.stashed = true
+
+	fk.epoch++
+	if fk.epoch == 0 {
+		clear(fk.estamp)
+		fk.epoch = 1
+	}
+	fk.touched = fk.touched[:0]
+	fk.hazards = fk.hazards[:0]
+	fk.created = 0
+	t.adStores, t.grayings = 0, 0
+	t.mem.ForkStash()
+}
+
+// ForkAborted reports whether this epoch hit a non-speculable operation
+// (in the table or in memory) and must be discarded.
 func (t *Table) ForkAborted() bool { return t.fk.abort || t.mem.ForkAborted() }
+
+// ForkAbortReasonIs reports why the current epoch aborted, ForkAbortNone
+// if it has not.
+func (t *Table) ForkAbortReasonIs() ForkAbortReason {
+	fk := t.fk
+	if fk.reason != ForkAbortNone {
+		return fk.reason
+	}
+	if t.mem.ForkAborted() {
+		return ForkAbortStructural
+	}
+	return ForkAbortNone
+}
 
 // ForkTouched reports the descriptor slots this fork resolved this epoch —
 // its descriptor read footprint. The slice is owned by the fork and valid
-// until the next ForkReset.
+// until the next ForkReset or ForkStash.
 func (t *Table) ForkTouched() []Index { return t.fk.touched }
 
 // ForkDescWrites reports the descriptor slots whose shadow copy differs
@@ -108,9 +206,32 @@ func (t *Table) ForkPageFootprint(p uint32) (read, write mem.PageBits) {
 	return t.mem.ForkPageFootprint(p)
 }
 
-// ForkCommit publishes the epoch into the parent: changed descriptors,
-// written memory pages, and the per-epoch stats deltas. The driver calls
-// this only after establishing that no other fork's footprint overlaps.
+// ForkPendingTouched reports the stashed epoch's descriptor read footprint.
+func (t *Table) ForkPendingTouched() []Index { return t.fk.stTouched }
+
+// ForkPendingDescWrites reports the stashed epoch's descriptor write
+// footprint, precomputed at stash time.
+func (t *Table) ForkPendingDescWrites() []Index { return t.fk.stWrites }
+
+// ForkPendingPages reports the stashed epoch's memory page footprint.
+func (t *Table) ForkPendingPages() (reads, writes []uint32) {
+	return t.mem.ForkPendingFootprint()
+}
+
+// ForkPendingPageFootprint reports the stashed epoch's byte-granular
+// footprint of one memory page.
+func (t *Table) ForkPendingPageFootprint(p uint32) (read, write mem.PageBits) {
+	return t.mem.ForkPendingPageFootprint(p)
+}
+
+// ForkCreated reports how many objects the current epoch created from
+// reservations (uncommitted).
+func (t *Table) ForkCreated() int { return t.fk.created }
+
+// ForkCommit publishes the current epoch into the parent: changed
+// descriptors, written memory pages, reservation-created objects, and the
+// per-epoch stats deltas. The driver calls this only after establishing
+// that no other fork's footprint overlaps.
 //
 // It returns the descriptor indices actually written into the parent.
 // Committed writes bypass the parent's methods, so they never bump the
@@ -139,7 +260,34 @@ func (t *Table) ForkCommit() []Index {
 	fk.writes = written
 	fk.parent.adStores += t.adStores
 	fk.parent.grayings += t.grayings
+	fk.parent.live += fk.created
+	fk.parent.created += uint64(fk.created)
+	fk.parent.reserved -= fk.created
+	fk.created = 0
 	t.mem.ForkCommit()
+	return written
+}
+
+// ForkCommitPending publishes the stashed epoch into the parent from its
+// frozen values, leaving the fork's live (continuation) epoch untouched.
+// Same contract as ForkCommit, including the returned written set.
+func (t *Table) ForkCommitPending() []Index {
+	fk := t.fk
+	written := fk.writes[:0]
+	for j, idx := range fk.stWrites {
+		fk.parent.descs[idx] = fk.stVals[j]
+		written = append(written, idx)
+	}
+	written = append(written, fk.stHazards...)
+	fk.writes = written
+	fk.parent.adStores += fk.stAdStores
+	fk.parent.grayings += fk.stGrayings
+	fk.parent.live += fk.stCreated
+	fk.parent.created += uint64(fk.stCreated)
+	fk.parent.reserved -= fk.stCreated
+	fk.stashed = false
+	fk.stCreated = 0
+	t.mem.ForkCommitPending()
 	return written
 }
 
@@ -154,24 +302,42 @@ func (t *Table) noteCacheHazard(idx Index) {
 }
 
 // slot returns the descriptor at idx, routed through the epoch shadow for
-// forks. The caller has bounds-checked idx against Len.
+// forks. The caller has bounds-checked idx against Len. Shadow copies are
+// chain-scoped (a stash-continued epoch keeps its predecessor's values);
+// footprint membership is epoch-scoped.
 func (t *Table) slot(idx Index) *Descriptor {
 	if fk := t.fk; fk != nil {
-		if fk.stamp[idx] != fk.epoch {
-			fk.stamp[idx] = fk.epoch
+		if fk.stamp[idx] != fk.chain {
+			fk.stamp[idx] = fk.chain
 			fk.shadow[idx] = fk.parent.descs[idx]
+		}
+		if fk.estamp[idx] != fk.epoch {
+			fk.estamp[idx] = fk.epoch
 			fk.touched = append(fk.touched, idx)
 		}
 		return &fk.shadow[idx]
 	}
+	t.muts++
 	return &t.descs[idx]
 }
 
-// forkBar marks the fork aborted and manufactures the fault every
-// structural entry point returns during speculation. The fault never
+// forkBar marks the fork aborted (structural) and manufactures the fault
+// every structural entry point returns during speculation. The fault never
 // becomes visible — the driver discards the fork wholesale — but returning
 // one keeps the caller's control flow honest.
 func (t *Table) forkBar(what string) *Fault {
 	t.fk.abort = true
+	if t.fk.reason == ForkAbortNone {
+		t.fk.reason = ForkAbortStructural
+	}
 	return Faultf(FaultOddity, NilAD, "%s is barred during epoch speculation", what)
+}
+
+// ForkBarReservation marks the fork aborted because a reservation ran dry.
+// The driver's serial replay will top the reservation up and re-execute.
+func (t *Table) ForkBarReservation() {
+	t.fk.abort = true
+	if t.fk.reason == ForkAbortNone {
+		t.fk.reason = ForkAbortReservation
+	}
 }

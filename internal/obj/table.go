@@ -103,6 +103,16 @@ type Table struct {
 	// bumps it; a cached entry whose snapshot differs is dead.
 	xgen uint64
 
+	// muts counts mutations (and conservatively, descriptor accesses that
+	// could mutate) performed outside the epoch-fork engine. The parallel
+	// driver's pipeline snapshots MutGen to detect state changes between
+	// steps; fork commits deliberately do not advance it.
+	muts uint64
+
+	// reserved counts descriptor slots currently held out of circulation
+	// by reservations (see reserve.go), for Len/audit bookkeeping.
+	reserved int
+
 	// fk marks this table as an epoch-fork view (see fork.go): descriptor
 	// lookups route through a copy-on-touch shadow and structural
 	// operations abort the fork.
@@ -124,10 +134,12 @@ func NewTable(memSize uint32) *Table {
 // only through ADs.
 func (t *Table) Memory() *mem.Memory { return t.mem }
 
-// Live reports the number of valid objects.
+// Live reports the number of valid objects. A fork adds its own
+// uncommitted reservation-created objects (stashed and current epoch) to
+// the parent's count — forks never destroy.
 func (t *Table) Live() int {
 	if fk := t.fk; fk != nil {
-		return fk.parent.live // forks neither create nor destroy
+		return fk.parent.live + fk.stCreated + fk.created
 	}
 	return t.live
 }
@@ -191,6 +203,15 @@ func (t *Table) CacheGen() uint64 {
 // DescriptorAt, the parallel driver committing an epoch's descriptor
 // writes) must call this explicitly.
 func (t *Table) InvalidateCaches() { t.xgen++ }
+
+// MutGen reports a counter that advances on every table or memory
+// mutation performed outside the epoch-fork engine — descriptor accesses
+// through non-fork resolution (conservatively counted as potential
+// mutations, since callers mutate through the returned pointer), object
+// creation/destruction, reservation changes, allocator activity. Epoch
+// commits do not advance it: the parallel driver accounts for its own
+// committed writes separately, and uses MutGen to detect everything else.
+func (t *Table) MutGen() uint64 { return t.muts + t.xgen + t.mem.MutGen() }
 
 // Resolve validates an AD against the table: the entry must be live and
 // the generation must match. It returns the descriptor for inspection.
@@ -307,6 +328,7 @@ func (t *Table) Create(spec CreateSpec) (AD, *Fault) {
 	}
 	t.live++
 	t.created++
+	t.muts++
 	if l := t.tr; l != nil {
 		l.Emit(trace.EvObjCreate, uint32(idx), uint32(spec.Type), uint64(spec.Level))
 	}
